@@ -1,0 +1,27 @@
+"""Ablation — gradient checkpointing's backward-stage cost.
+
+The paper: "gradient checkpointing in Mixtral saves memory but increases
+the backward stage runtime due to the re-computation of intermediate
+values."
+"""
+
+from repro.gpu import A40, GPUSimulator
+from repro.models import MIXTRAL_8X7B
+
+
+def compare():
+    sim = GPUSimulator(A40)
+    with_ck = sim.simulate_step(MIXTRAL_8X7B, 4, 128, dense=False, checkpointing=True)
+    without = sim.simulate_step(MIXTRAL_8X7B, 4, 128, dense=False, checkpointing=False)
+    return {
+        "backward_with_ck": with_ck.stage_seconds()["backward"],
+        "backward_without": without.stage_seconds()["backward"],
+    }
+
+
+def test_checkpointing_ablation(benchmark, once):
+    report = once(benchmark, compare)
+    ratio = report["backward_with_ck"] / report["backward_without"]
+    print(f"\n  backward with ck: {report['backward_with_ck']:.2f}s, "
+          f"without: {report['backward_without']:.2f}s ({ratio:.2f}x)")
+    assert 1.3 < ratio < 2.5  # recompute adds roughly one extra forward

@@ -1,0 +1,33 @@
+"""Ablation — Eq. 1 literal (2-coefficient) vs extended (+overhead) form.
+
+DESIGN.md flags the printed Eq. 1 as unable to express the large fixed
+memory block beyond the weights. This bench quantifies the gap.
+"""
+
+from repro.core import BatchSizeModel, collect_batch_size_observations
+from repro.gpu import A40, A100_40, A100_80, H100
+from repro.models import BLACKMAMBA_2_8B, MIXTRAL_8X7B
+
+
+def fit_both():
+    report = {}
+    for cfg in (MIXTRAL_8X7B, BLACKMAMBA_2_8B):
+        observations = collect_batch_size_observations(cfg, [A100_40, A40, A100_80, H100])
+        literal = BatchSizeModel.fit(observations)
+        extended = BatchSizeModel.fit(observations, fit_overhead=True)
+        report[cfg.family] = {
+            "literal_rmse": literal.rmse(observations),
+            "extended_rmse": extended.rmse(observations),
+            "extended_overhead_gb": extended.overhead_gb,
+            "extended_c1": extended.c1,
+        }
+    return report
+
+
+def test_eq1_extended_form_ablation(benchmark, once):
+    report = once(benchmark, fit_both)
+    print()
+    for family, stats in report.items():
+        print(f"  {family}: " + ", ".join(f"{k}={v:.3f}" for k, v in stats.items()))
+        assert stats["extended_rmse"] < stats["literal_rmse"]
+        assert stats["extended_overhead_gb"] > 5.0  # real fixed block exists

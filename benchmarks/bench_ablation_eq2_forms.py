@@ -1,0 +1,29 @@
+"""Ablation — Eq. 2 'exponent' (our reading of the paper's intent) vs the
+'literal' printed form, where C3 is degenerate with the intercept."""
+
+from repro.core import collect_throughput_observations, fit_dense_sparse
+from repro.gpu import A40
+from repro.memory import EFFECTIVE_SEQ_LEN
+from repro.models import BLACKMAMBA_2_8B, MIXTRAL_8X7B
+
+
+def compare_forms():
+    report = {}
+    for cfg in (MIXTRAL_8X7B, BLACKMAMBA_2_8B):
+        for dataset in ("commonsense15k", "math14k"):
+            seq_len = EFFECTIVE_SEQ_LEN[dataset]
+            dense = collect_throughput_observations(cfg, A40, seq_len, dense=True)
+            sparse = collect_throughput_observations(cfg, A40, seq_len, dense=False)
+            _m1, rmse_exp = fit_dense_sparse(dense, sparse, form="exponent")
+            _m2, rmse_lit = fit_dense_sparse(dense, sparse, form="literal")
+            report[f"{cfg.family}-{dataset}"] = (rmse_exp, rmse_lit)
+    return report
+
+
+def test_eq2_form_ablation(benchmark, once):
+    report = once(benchmark, compare_forms)
+    print()
+    for key, (rmse_exp, rmse_lit) in report.items():
+        print(f"  {key}: exponent={rmse_exp:.3f}, literal={rmse_lit:.3f}")
+        # The exponent form is never meaningfully worse.
+        assert rmse_exp <= rmse_lit * 1.1 + 1e-6

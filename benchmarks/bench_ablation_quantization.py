@@ -1,0 +1,36 @@
+"""Ablation — Mixtral with vs without NF4 quantization.
+
+The paper notes the dequant/compute trade-off ("evaluate trade-offs
+between memory savings and computation time, particularly with small
+batch sizes"). Without quantization the dequant kernels vanish and GEMMs
+run at full efficiency, but the model no longer fits a 48GB GPU at all
+(46.7B fp16 = 93GB) — which is the whole reason QLoRA exists.
+"""
+
+from repro.gpu import A40, GPUSimulator
+from repro.models import MIXTRAL_8X7B, param_breakdown
+
+
+def compare():
+    sim = GPUSimulator(A40)
+    out = {}
+    for batch in (1, 8):
+        # Both arms train LoRA adapters only; the knob is weight storage.
+        quantized = sim.simulate_step(MIXTRAL_8X7B, batch, 128, dense=False,
+                                      quantized=True, lora=True)
+        fp16 = sim.simulate_step(MIXTRAL_8X7B, batch, 128, dense=False,
+                                 quantized=False, lora=True)
+        out[batch] = (quantized.total_seconds, fp16.total_seconds)
+    out["fp16_weights_gb"] = param_breakdown(MIXTRAL_8X7B).total * 2 / 1e9
+    return out
+
+
+def test_quantization_ablation(benchmark, once):
+    report = once(benchmark, compare)
+    print()
+    for batch in (1, 8):
+        q, f = report[batch]
+        print(f"  bsz={batch}: quantized={q:.2f}s, fp16={f:.2f}s, overhead={q / f:.2f}x")
+        assert q > f  # dequant + slower GEMMs cost time...
+    print(f"  ...but fp16 weights need {report['fp16_weights_gb']:.0f}GB (vs 48GB on the A40)")
+    assert report["fp16_weights_gb"] > A40.memory_gb

@@ -1,0 +1,28 @@
+"""Extension bench — multi-GPU data-parallel scaling (paper future work).
+
+The paper leaves multi-GPU estimation "for future exploration"; this
+bench exercises our data-parallel extension: QLoRA's tiny gradient set
+scales near-perfectly while full fine-tuning pays a visible all-reduce
+tax on PCIe-class links.
+"""
+
+from repro.gpu import A40, DataParallelSimulator, PCIE_GEN4
+from repro.models import BLACKMAMBA_2_8B, MIXTRAL_8X7B
+
+
+def scaling_study():
+    sim = DataParallelSimulator(A40, interconnect=PCIE_GEN4)
+    out = {}
+    for cfg, batch in ((MIXTRAL_8X7B, 4), (BLACKMAMBA_2_8B, 6)):
+        curve = sim.scaling_curve(cfg, batch, 128, max_gpus=8)
+        out[cfg.family] = {n: (e.queries_per_second, e.scaling_efficiency) for n, e in curve.items()}
+    return out
+
+
+def test_multigpu_scaling_extension(benchmark, once):
+    report = once(benchmark, scaling_study)
+    print()
+    for family, curve in report.items():
+        line = ", ".join(f"{n}:{qps:.2f}q/s({100 * eff:.0f}%)" for n, (qps, eff) in sorted(curve.items()))
+        print(f"  {family}: {line}")
+    assert report["mixtral"][8][1] > report["blackmamba"][8][1]

@@ -1,0 +1,9 @@
+"""Fig. 10 — DRAM bandwidth utilization of MoE kernels."""
+
+from repro.experiments import fig10_dram
+
+
+def test_fig10_dram_utilization(benchmark, once):
+    result = once(benchmark, fig10_dram.run)
+    print("\n" + result.to_table())
+    assert result.row("mixtral_tw_dram_drop_s1_to_s32").measured > 5

@@ -1,0 +1,11 @@
+"""Fig. 13 — Eq. 1 fit and max-batch-size projection."""
+
+from repro.experiments import fig13_projection
+
+
+def test_fig13_batch_projection(benchmark, once):
+    result = once(benchmark, fig13_projection.run)
+    print("\n" + result.to_table())
+    assert result.row("mixtral_c1_extended").matches_paper(rel_tol=0.1)
+    assert result.row("projection_100gb").matches_paper(rel_tol=0.25)
+    assert result.row("projection_120gb").matches_paper(rel_tol=0.25)

@@ -1,0 +1,11 @@
+"""Fig. 14 — Eq. 2 throughput fit on the A40."""
+
+from repro.experiments import fig14_fit_a40
+
+
+def test_fig14_throughput_fit(benchmark, once):
+    result = once(benchmark, fig14_fit_a40.run)
+    print("\n" + result.to_table())
+    # RMSE must stay at the paper's scale (their worst case is 0.79).
+    assert result.row("mixtral_commonsense15k_rmse").measured < 0.4
+    assert result.row("blackmamba_commonsense15k_rmse").measured < 1.6

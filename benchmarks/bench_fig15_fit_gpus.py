@@ -1,0 +1,13 @@
+"""Fig. 15 — Eq. 2 validation on A100-40GB / A100-80GB / H100."""
+
+import math
+
+from repro.experiments import fig15_fit_gpus
+
+
+def test_fig15_other_gpus(benchmark, once):
+    result = once(benchmark, fig15_fit_gpus.run)
+    print("\n" + result.to_table())
+    for gpu in ("A100-80GB", "H100-80GB"):
+        value = result.row(f"{gpu}_rmse").measured
+        assert math.isnan(value) or value < 1.1

@@ -1,0 +1,10 @@
+"""Fig. 2 — sequence-length distributions."""
+
+from repro.experiments import fig2_seqlen
+
+
+def test_fig2_seqlen_distributions(benchmark, once):
+    result = once(benchmark, fig2_seqlen.run, sample_size=15000)
+    print("\n" + result.to_table())
+    assert result.row("commonsense15k_median").matches_paper(rel_tol=0.05)
+    assert result.row("math14k_median").matches_paper(rel_tol=0.05)

@@ -1,0 +1,22 @@
+"""Fig. 3 — dense vs sparse fine-tuning accuracy over epochs.
+
+Runs the real tiny-model training pipeline (pretrain -> per-arm
+fine-tune). Scale via REPRO_SCALE (smoke/bench/full).
+"""
+
+from conftest import experiment_scale
+
+from repro.experiments import fig3_accuracy
+
+
+def test_fig3_accuracy_curves(benchmark, once):
+    result = once(benchmark, fig3_accuracy.run, scale=experiment_scale())
+    print("\n" + result.to_table())
+    for family, dataset in (("mixtral", "commonsense15k"), ("blackmamba", "commonsense15k")):
+        sparse = result.row(f"{family}_{dataset}_sparse_best_acc").measured
+        pre = result.row(f"{family}_{dataset}_sparse_pre_acc").measured
+        assert sparse > pre, f"{family} did not learn {dataset}"
+    # Takeaway 1: sparse within reach of dense on the commonsense arms.
+    for family in ("mixtral", "blackmamba"):
+        delta = result.row(f"{family}_commonsense15k_sparse_minus_dense").measured
+        assert abs(delta) < 0.35

@@ -1,0 +1,10 @@
+"""Fig. 4 — forward/backward/optimizer stage breakdown."""
+
+from repro.experiments import fig4_stages
+
+
+def test_fig4_stage_breakdown(benchmark, once):
+    result = once(benchmark, fig4_stages.run)
+    print("\n" + result.to_table())
+    assert result.row("blackmamba_S1_optimizer_share").matches_paper(rel_tol=0.25)
+    assert result.row("mixtral_S1_optimizer_share").measured < 0.05

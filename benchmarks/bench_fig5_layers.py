@@ -1,0 +1,9 @@
+"""Fig. 5 — layer-level time breakdown (MoE dominance)."""
+
+from repro.experiments import fig5_layers
+
+
+def test_fig5_layer_breakdown(benchmark, once):
+    result = once(benchmark, fig5_layers.run)
+    print("\n" + result.to_table())
+    assert result.row("average_moe_share").measured > 0.6

@@ -1,0 +1,11 @@
+"""Fig. 6 — MoE kernel-level breakdown."""
+
+from repro.experiments import fig6_kernels
+
+
+def test_fig6_kernel_breakdown(benchmark, once):
+    result = once(benchmark, fig6_kernels.run)
+    print("\n" + result.to_table())
+    for row in result.rows:
+        if row.label.endswith("_matmul_share"):
+            assert row.measured > 0.45

@@ -1,0 +1,11 @@
+"""Fig. 8 — fine-tuning throughput grid."""
+
+from repro.experiments import fig8_throughput
+
+
+def test_fig8_throughput(benchmark, once):
+    result = once(benchmark, fig8_throughput.run)
+    print("\n" + result.to_table())
+    rows = [r for r in result.rows if r.paper is not None]
+    within_2x = sum(bool(r.matches_paper(rel_tol=1.0)) for r in rows)
+    assert within_2x == len(rows)

@@ -1,0 +1,10 @@
+"""Fig. 9 — SM utilization of MoE kernels."""
+
+from repro.experiments import fig9_sm
+
+
+def test_fig9_sm_utilization(benchmark, once):
+    result = once(benchmark, fig9_sm.run)
+    print("\n" + result.to_table())
+    assert result.row("mixtral_matmul_w1_rise_s1_to_s32").measured > 20
+    assert result.row("mixtral_dequant_batch_drift").measured < 5

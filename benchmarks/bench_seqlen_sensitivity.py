@@ -1,0 +1,11 @@
+"""Section IV-B6 — sequence-length sensitivity study (figure omitted in
+the paper for space; claims reproduced here)."""
+
+from repro.experiments import seqlen_sensitivity
+
+
+def test_seqlen_sensitivity(benchmark, once):
+    result = once(benchmark, seqlen_sensitivity.run)
+    print("\n" + result.to_table())
+    assert 0.6 < result.row("mixtral_latency_ratio_longest_over_shortest").measured < 1.6
+    assert 0.6 < result.row("blackmamba_latency_ratio_longest_over_shortest").measured < 0.95

@@ -1,0 +1,102 @@
+"""Micro-benchmarks of the training substrate itself.
+
+These are conventional pytest-benchmark measurements (multiple rounds) of
+the numpy building blocks: useful for tracking performance regressions of
+the reproduction stack, not paper artifacts.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import BLACKMAMBA_TINY, BlackMambaModel, MIXTRAL_TINY, MixtralModel
+from repro.nn import cross_entropy
+from repro.quant import quantize
+from repro.tensor import Tensor, no_grad
+
+RNG = np.random.default_rng(0)
+
+
+@pytest.fixture(scope="module")
+def moe_layer():
+    return nn.MoELayer(32, 8, 2, lambda: nn.SwiGLUExpert(32, 64, rng=RNG), rng=RNG)
+
+
+def test_moe_forward_microbench(benchmark, moe_layer):
+    x = Tensor(RNG.standard_normal((4, 32, 32)))
+
+    def run():
+        with no_grad():
+            return moe_layer(x)
+
+    benchmark(run)
+
+
+def test_attention_forward_microbench(benchmark):
+    attention = nn.CausalSelfAttention(64, 8, num_kv_heads=2, rng=RNG)
+    x = Tensor(RNG.standard_normal((4, 48, 64)))
+
+    def run():
+        with no_grad():
+            return attention(x)
+
+    benchmark(run)
+
+
+def test_mamba_forward_microbench(benchmark):
+    mixer = nn.MambaMixer(32, state_dim=8, rng=RNG)
+    x = Tensor(RNG.standard_normal((4, 48, 32)))
+
+    def run():
+        with no_grad():
+            return mixer(x)
+
+    benchmark(run)
+
+
+def test_nf4_quantize_microbench(benchmark):
+    weight = RNG.standard_normal((256, 256))
+    benchmark(quantize, weight)
+
+
+def test_nf4_dequantize_microbench(benchmark):
+    qt = quantize(RNG.standard_normal((256, 256)))
+    benchmark(qt.dequantize)
+
+
+def test_mixtral_tiny_train_step_microbench(benchmark):
+    model = MixtralModel(MIXTRAL_TINY, finetune_mode="full", gradient_checkpointing=False, rng=RNG)
+    ids = RNG.integers(0, MIXTRAL_TINY.vocab_size, (4, 24))
+    targets = np.roll(ids, -1, axis=1)
+
+    def step():
+        logits = model(ids)
+        loss = cross_entropy(logits, targets)
+        model.zero_grad()
+        loss.backward()
+        return loss
+
+    benchmark(step)
+
+
+def test_blackmamba_tiny_train_step_microbench(benchmark):
+    model = BlackMambaModel(BLACKMAMBA_TINY, rng=RNG)
+    ids = RNG.integers(0, BLACKMAMBA_TINY.vocab_size, (4, 24))
+    targets = np.roll(ids, -1, axis=1)
+
+    def step():
+        logits = model(ids)
+        loss = cross_entropy(logits, targets)
+        model.zero_grad()
+        loss.backward()
+        return loss
+
+    benchmark(step)
+
+
+def test_gpu_simulator_step_microbench(benchmark):
+    from repro.gpu import A40, GPUSimulator
+    from repro.models import MIXTRAL_8X7B
+
+    sim = GPUSimulator(A40)
+    benchmark(sim.simulate_step, MIXTRAL_8X7B, 8, 128)

@@ -1,0 +1,9 @@
+"""Table I — model inventory."""
+
+from repro.experiments import table1_models
+
+
+def test_table1_models(benchmark, once):
+    result = once(benchmark, table1_models.run)
+    print("\n" + result.to_table())
+    assert all(r.matches_paper(rel_tol=0.05) for r in result.rows)

@@ -1,0 +1,10 @@
+"""Table II — dataset statistics."""
+
+from repro.experiments import table2_datasets
+
+
+def test_table2_datasets(benchmark, once):
+    result = once(benchmark, table2_datasets.run, sample_size=3000)
+    print("\n" + result.to_table())
+    assert result.row("commonsense15k_median_seq_len").matches_paper(rel_tol=0.1)
+    assert result.row("math14k_median_seq_len").matches_paper(rel_tol=0.1)

@@ -1,0 +1,10 @@
+"""Table III — maximum batch sizes on the A40."""
+
+from repro.experiments import table3_maxbatch
+
+
+def test_table3_max_batch_sizes(benchmark, once):
+    result = once(benchmark, table3_maxbatch.run)
+    print("\n" + result.to_table())
+    for row in result.rows:
+        assert row.measured == row.paper, row.label

@@ -1,0 +1,11 @@
+"""Table IV — fine-tuning cost estimates plus the OpenOrca projection."""
+
+from repro.experiments import table4_cost
+
+
+def test_table4_cost(benchmark, once):
+    result = once(benchmark, table4_cost.run)
+    print("\n" + result.to_table())
+    assert result.row("cheapest_gpu").measured == "H100-80GB"
+    assert result.row("A40_cost").matches_paper(rel_tol=0.15)
+    assert result.row("openorca_h100_cost").matches_paper(rel_tol=0.25)

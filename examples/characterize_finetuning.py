@@ -1,0 +1,60 @@
+"""Scenario: profile a fine-tuning step the way the paper's Section IV does.
+
+Produces the Nsight-style stage / layer / kernel reports for Mixtral and
+BlackMamba on a simulated A40, demonstrating the characterization
+takeaways: MoE dominates, backward > forward, optimizer cost under full
+fine-tuning, the memory-bound -> compute-bound transition.
+
+Run:  python examples/characterize_finetuning.py
+"""
+
+from repro.gpu import A40, GPUSimulator
+from repro.models import BLACKMAMBA_2_8B, MIXTRAL_8X7B
+from repro.profiling import ProfileReport, compare_traces
+
+SEQ_LEN = 128
+
+
+def profile_model(sim: GPUSimulator, cfg, batch: int, dense: bool) -> None:
+    trace = sim.simulate_step(
+        cfg, batch, SEQ_LEN, dense=dense,
+        label=f"{cfg.name} {'dense' if dense else 'sparse'} bsz={batch}",
+    )
+    report = ProfileReport(trace)
+    print(report.full_report())
+    print()
+
+
+def batch_transition(sim: GPUSimulator) -> None:
+    print("=== Takeaway 5: memory-bound -> compute-bound as batch grows ===")
+    print(f"{'batch':>5} {'SM% (tw)':>9} {'DRAM% (tw)':>11} {'queries/s':>10}")
+    for batch in (1, 4, 10, 32):
+        trace = sim.simulate_step(MIXTRAL_8X7B, batch, SEQ_LEN, dense=False)
+        print(
+            f"{batch:>5} {trace.time_weighted_sm('moe'):>9.0f} "
+            f"{trace.time_weighted_dram('moe'):>11.0f} {trace.queries_per_second:>10.2f}"
+        )
+    print()
+
+
+def sparse_dense_comparison(sim: GPUSimulator) -> None:
+    print("=== Sparse vs dense at the same and at max batch sizes ===")
+    traces = [
+        sim.simulate_step(MIXTRAL_8X7B, 2, SEQ_LEN, dense=True, label="dense bsz=2"),
+        sim.simulate_step(MIXTRAL_8X7B, 2, SEQ_LEN, dense=False, label="sparse bsz=2"),
+        sim.simulate_step(MIXTRAL_8X7B, 8, SEQ_LEN, dense=False, label="sparse bsz=8 (max-ish)"),
+    ]
+    print(compare_traces(traces))
+    print()
+
+
+def main() -> None:
+    sim = GPUSimulator(A40)
+    profile_model(sim, MIXTRAL_8X7B, batch=10, dense=False)
+    profile_model(sim, BLACKMAMBA_2_8B, batch=1, dense=False)
+    batch_transition(sim)
+    sparse_dense_comparison(sim)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Scenario: actually fine-tune a (tiny) MoE model and watch it learn.
+
+End-to-end run of the real training substrate — the paper's Fig. 3 and
+Fig. 11 pipeline in miniature:
+
+1. pre-train a tiny Mixtral on a shadow-world corpus (balanced routers);
+2. convert to QLoRA (NF4-quantize MoE weights, attach rank-16 adapters);
+3. fine-tune sparse (top-2 of 8) on the commonsense corpus;
+4. evaluate 4-way multiple choice accuracy every epoch;
+5. measure expert load imbalance before and after.
+
+Run:  python examples/finetune_tiny_moe.py      (~1-2 minutes, CPU only)
+"""
+
+import numpy as np
+
+from repro.data import build_benchmark_suite, build_pretraining_corpus
+from repro.models import MIXTRAL_TINY, MixtralModel, convert_to_qlora
+from repro.training import (
+    FineTuner,
+    evaluate,
+    measure_load_distribution,
+    pretrain_language_model,
+)
+
+EPOCHS = 6
+
+
+def main() -> None:
+    suite = build_benchmark_suite(train_size=600, eval_size=80, length_scale=0.2)
+    corpus = build_pretraining_corpus(suite.vocab, size=800)
+    rng = np.random.default_rng(42)
+
+    print("1) pre-training a tiny Mixtral (structural LM, balanced routers)...")
+    model = MixtralModel(MIXTRAL_TINY, finetune_mode="full", gradient_checkpointing=False, rng=rng)
+    model.set_sparsity(dense=False)
+    loss = pretrain_language_model(model, corpus, steps=300, batch_size=16, learning_rate=3e-3)
+    print(f"   pre-train loss: {loss:.3f}")
+
+    pre_acc = evaluate(model, suite.hellaswag, limit=80)
+    pre_load = measure_load_distribution(model, suite.commonsense15k, num_queries=150)
+    print(f"   pre-fine-tune accuracy: {pre_acc:.3f} (4-way chance = 0.25)")
+
+    print("2) converting to QLoRA (NF4 MoE weights + rank-16 adapters)...")
+    convert_to_qlora(model, rng=rng)
+    model.gradient_checkpointing = False  # numpy substrate: speed over memory
+    trainable = model.num_parameters(trainable_only=True)
+    total = model.num_parameters()
+    print(f"   trainable params: {trainable:,} of {total:,} ({100 * trainable / total:.1f}%)")
+
+    print(f"3) fine-tuning sparse (top-2 of 8 experts) for {EPOCHS} epochs...")
+    tuner = FineTuner(model, suite.commonsense15k, batch_size=16, learning_rate=8e-3, seed=0)
+    tuner.train(
+        num_epochs=EPOCHS,
+        eval_fn=lambda: evaluate(model, suite.hellaswag, limit=80),
+        verbose=True,
+    )
+
+    post_load = measure_load_distribution(model, suite.commonsense15k, num_queries=150)
+    print("4) expert load distribution (percent of routed tokens):")
+    pre_shares = 100 * pre_load.normalized_shares
+    post_shares = 100 * post_load.normalized_shares
+    print("   expert:      " + " ".join(f"{i:>5d}" for i in range(8)))
+    print("   pre-tune:    " + " ".join(f"{s:5.1f}" for s in pre_shares))
+    print("   post-tune:   " + " ".join(f"{s:5.1f}" for s in post_shares))
+    print(
+        f"   share variance: {np.var(pre_shares):.1f} -> {np.var(post_shares):.1f} "
+        "(the paper's Fig. 11 tracks exactly this drift; its direction is "
+        "model- and dataset-dependent — Takeaway 6)"
+    )
+
+
+if __name__ == "__main__":
+    main()

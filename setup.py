@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network access,
+so PEP 660 editable installs (``pip install -e .``) cannot build an
+editable wheel. ``python setup.py develop --no-deps`` provides the
+equivalent editable install using only setuptools. All project metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

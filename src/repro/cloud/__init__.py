@@ -1,0 +1,5 @@
+"""Cloud pricing substrate (S12)."""
+
+from .pricing import DEFAULT_CATALOG, GPUPrice, PriceCatalog
+
+__all__ = ["DEFAULT_CATALOG", "GPUPrice", "PriceCatalog"]

@@ -1,0 +1,69 @@
+"""Cloud GPU rental pricing.
+
+The paper prices GPU hours from CUDO Compute because, at the time, other
+major clouds did not list the A40. The catalog structure supports
+additional providers; prices are inputs to the cost model, not results.
+Table IV's printed rates: A40 $0.79/h, A100-80GB $1.67/h, H100 $2.10/h.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+
+@dataclass(frozen=True)
+class GPUPrice:
+    """Hourly rental price of one GPU model at one provider."""
+
+    gpu_name: str
+    provider: str
+    dollars_per_hour: float
+
+    def __post_init__(self) -> None:
+        if self.dollars_per_hour <= 0:
+            raise ValueError(f"price must be positive, got {self.dollars_per_hour}")
+
+
+class PriceCatalog:
+    """Provider -> GPU -> hourly price lookup."""
+
+    def __init__(self, prices: Iterable[GPUPrice]) -> None:
+        self._prices: Dict[Tuple[str, str], GPUPrice] = {}
+        for price in prices:
+            self._prices[(price.provider, price.gpu_name)] = price
+
+    def price(self, gpu_name: str, provider: str = "cudo") -> GPUPrice:
+        key = (provider, gpu_name)
+        if key not in self._prices:
+            available = sorted(f"{p}/{g}" for p, g in self._prices)
+            raise KeyError(f"no price for {provider}/{gpu_name}; available: {available}")
+        return self._prices[key]
+
+    def dollars_per_hour(self, gpu_name: str, provider: str = "cudo") -> float:
+        return self.price(gpu_name, provider).dollars_per_hour
+
+    def providers(self) -> List[str]:
+        return sorted({p for p, _g in self._prices})
+
+    def gpus(self, provider: str = "cudo") -> List[str]:
+        return sorted(g for p, g in self._prices if p == provider)
+
+    def add(self, price: GPUPrice) -> None:
+        self._prices[(price.provider, price.gpu_name)] = price
+
+
+DEFAULT_CATALOG = PriceCatalog(
+    [
+        # CUDO Compute rates as printed in the paper's Table IV.
+        GPUPrice("A40", "cudo", 0.79),
+        GPUPrice("A100-80GB", "cudo", 1.67),
+        GPUPrice("H100-80GB", "cudo", 2.10),
+        # A100-40GB is not in Table IV; contemporary CUDO listing.
+        GPUPrice("A100-40GB", "cudo", 1.29),
+        # Representative on-demand rates for an alternative provider, to
+        # demonstrate the paper's "easily adjust the renting cost" claim.
+        GPUPrice("A100-80GB", "lambda", 1.79),
+        GPUPrice("H100-80GB", "lambda", 2.49),
+    ]
+)

@@ -1,0 +1,27 @@
+"""The paper's primary contribution (S11): analytical fine-tuning cost model.
+
+* :class:`BatchSizeModel` — Eq. 1, max batch size from GPU memory, model
+  memory, sequence length and MoE sparsity.
+* :class:`ThroughputModel` — Eq. 2, logarithmic batch-size->throughput.
+* :class:`FineTuningCostModel` — the full pipeline: max batch size ->
+  throughput -> hours -> dollars (Table IV and the OpenOrca projection).
+"""
+
+from .batchsize import BatchSizeModel, BatchSizeObservation, PAPER_BATCH_COEFFICIENTS
+from .cost import CostEstimate, FineTuningCostModel, dataset_num_queries
+from .fitting import collect_batch_size_observations, collect_throughput_observations
+from .throughput import ThroughputModel, ThroughputObservation, fit_dense_sparse
+
+__all__ = [
+    "BatchSizeModel",
+    "BatchSizeObservation",
+    "CostEstimate",
+    "FineTuningCostModel",
+    "PAPER_BATCH_COEFFICIENTS",
+    "ThroughputModel",
+    "ThroughputObservation",
+    "collect_batch_size_observations",
+    "collect_throughput_observations",
+    "dataset_num_queries",
+    "fit_dense_sparse",
+]

@@ -1,0 +1,81 @@
+"""Observation collection for fitting the analytical models.
+
+The paper sweeps batch sizes on real hardware to collect throughput
+points and probes max batch sizes across GPUs; here the GPU simulator and
+the memory oracle play the role of the hardware. These helpers produce
+the observation lists consumed by :class:`BatchSizeModel.fit` and
+:class:`ThroughputModel.fit`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from ..gpu.simulator import GPUSimulator
+from ..gpu.specs import GPUSpec
+from ..memory.estimator import max_batch_size
+from ..models.config import BlackMambaConfig, MixtralConfig
+from ..models.params import model_memory_gb
+from .batchsize import BatchSizeObservation
+from .throughput import ThroughputObservation
+
+ModelConfig = Union[MixtralConfig, BlackMambaConfig]
+
+
+def collect_batch_size_observations(
+    cfg: ModelConfig,
+    gpus: Sequence[GPUSpec],
+    seq_lens: Sequence[int] = (64, 128, 256, 512),
+    sparsities: Optional[Sequence[bool]] = None,
+) -> List[BatchSizeObservation]:
+    """Probe the memory oracle across GPUs/sequence lengths/sparsity.
+
+    ``sparsities`` is given as dense flags; default covers both dense and
+    sparse fine-tuning. Configurations that do not fit at batch size 1
+    are kept (max 0) — they carry information about the memory intercept.
+    """
+    dense_flags = [True, False] if sparsities is None else list(sparsities)
+    model_mem = model_memory_gb(cfg)
+    observations = []
+    for gpu in gpus:
+        for seq_len in seq_lens:
+            for dense in dense_flags:
+                observations.append(
+                    BatchSizeObservation(
+                        gpu_memory_gb=gpu.memory_gb,
+                        model_memory_gb=model_mem,
+                        seq_len=seq_len,
+                        sparsity=cfg.moe.sparsity(dense),
+                        max_batch_size=max_batch_size(cfg, gpu, seq_len, dense),
+                    )
+                )
+    return observations
+
+
+def collect_throughput_observations(
+    cfg: ModelConfig,
+    gpu: GPUSpec,
+    seq_len: int,
+    dense: bool,
+    batch_sizes: Optional[Sequence[int]] = None,
+    simulator: Optional[GPUSimulator] = None,
+) -> List[ThroughputObservation]:
+    """Sweep batch sizes on the simulator, as the paper sweeps hardware.
+
+    Default batch sizes run from 1 to the memory-limited maximum for the
+    configuration, which is what both Fig. 14's ground-truth dots and the
+    fitting procedure use.
+    """
+    simulator = simulator if simulator is not None else GPUSimulator(gpu)
+    if batch_sizes is None:
+        upper = max(1, max_batch_size(cfg, gpu, seq_len, dense))
+        batch_sizes = list(range(1, upper + 1))
+    sparsity = cfg.moe.sparsity(dense)
+    return [
+        ThroughputObservation(
+            batch_size=b,
+            sparsity=sparsity,
+            throughput_qps=simulator.throughput(cfg, b, seq_len, dense=dense),
+        )
+        for b in batch_sizes
+    ]

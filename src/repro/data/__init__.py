@@ -1,0 +1,49 @@
+"""Synthetic dataset substrate (S6) reproducing the paper's Table II corpora."""
+
+from .dataloader import Batch, DataLoader, collate
+from .datasets import (
+    EvalDataset,
+    EvalItem,
+    IGNORE_INDEX,
+    Query,
+    SyntheticDataset,
+    build_commonsense15k,
+    build_gsm8k,
+    build_hellaswag,
+    build_math14k,
+    build_pretraining_corpus,
+)
+from .distributions import SeqLenDistribution, empirical_median
+from .registry import DATASET_STATS, BenchmarkSuite, DatasetStats, build_benchmark_suite
+from .tokenizer import SPECIAL_TOKENS, Vocabulary, build_vocabulary
+from .world import ArithmeticWorld, Fact, KnowledgeWorld, MathProblem
+
+__all__ = [
+    "ArithmeticWorld",
+    "Batch",
+    "BenchmarkSuite",
+    "DATASET_STATS",
+    "DataLoader",
+    "DatasetStats",
+    "EvalDataset",
+    "EvalItem",
+    "Fact",
+    "IGNORE_INDEX",
+    "KnowledgeWorld",
+    "MathProblem",
+    "Query",
+    "SPECIAL_TOKENS",
+    "SeqLenDistribution",
+    "SyntheticDataset",
+    "Vocabulary",
+    "build_benchmark_suite",
+    "build_commonsense15k",
+    "build_gsm8k",
+    "build_hellaswag",
+    "build_math14k",
+    "build_pretraining_corpus",
+    "build_vocabulary",
+    "collate",
+    "empirical_median",
+    "SPECIAL_TOKENS",
+]

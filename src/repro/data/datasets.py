@@ -1,0 +1,405 @@
+"""Synthetic dataset construction for the four paper datasets.
+
+A *query* follows the paper's definition: the concatenation of a prompt
+and its ground-truth answer. Training queries carry label masks so the
+loss covers only answer tokens (standard instruction fine-tuning).
+Evaluation items are 4-way multiple choice (HellaSwag style) or
+exact-match single answers (GSM8K style).
+
+Each dataset embeds narrative filler tokens so its sequence-length
+statistics follow the paper's Fig. 2 distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .distributions import SeqLenDistribution
+from .tokenizer import Vocabulary
+from .world import ArithmeticWorld, KnowledgeWorld
+
+IGNORE_INDEX = -100
+
+
+@dataclass
+class Query:
+    """One fine-tuning example: ``input_ids`` with per-token ``labels``.
+
+    Labels equal the next-token target on answer positions and
+    ``IGNORE_INDEX`` elsewhere (prompt + filler).
+    """
+
+    input_ids: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.input_ids.shape != self.labels.shape:
+            raise ValueError("input_ids and labels must have identical shapes")
+
+    @property
+    def length(self) -> int:
+        return int(self.input_ids.shape[0])
+
+
+@dataclass
+class EvalItem:
+    """A held-out evaluation question.
+
+    ``choices`` holds candidate answer token sequences; ``correct_index``
+    marks the truth. Exact-match datasets use a single-token answer with
+    the full numeric vocabulary as implicit choices.
+    """
+
+    prompt_ids: np.ndarray
+    choices: List[np.ndarray]
+    correct_index: int
+    kind: str  # "choice" (HellaSwag-style) or "exact" (GSM8K-style)
+
+
+@dataclass
+class SyntheticDataset:
+    """A named collection of queries plus paper-facing metadata."""
+
+    name: str
+    task_type: str  # "commonsense" | "math"
+    queries: List[Query]
+    vocab: Vocabulary
+    seq_len_distribution: SeqLenDistribution
+    paper_num_queries: int
+    paper_median_seq_len: int
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def seq_lengths(self) -> np.ndarray:
+        return np.array([q.length for q in self.queries], dtype=np.int64)
+
+    def median_seq_len(self) -> float:
+        return float(np.median(self.seq_lengths()))
+
+    def subset(self, count: int, rng: Optional[np.random.Generator] = None) -> "SyntheticDataset":
+        rng = rng if rng is not None else np.random.default_rng(0)
+        count = min(count, len(self.queries))
+        picks = rng.choice(len(self.queries), size=count, replace=False)
+        return SyntheticDataset(
+            name=self.name,
+            task_type=self.task_type,
+            queries=[self.queries[int(i)] for i in picks],
+            vocab=self.vocab,
+            seq_len_distribution=self.seq_len_distribution,
+            paper_num_queries=self.paper_num_queries,
+            paper_median_seq_len=self.paper_median_seq_len,
+        )
+
+
+@dataclass
+class EvalDataset:
+    """A named collection of evaluation items."""
+
+    name: str
+    task_type: str
+    items: List[EvalItem]
+    vocab: Vocabulary
+    paper_num_queries: int
+    paper_median_seq_len: int
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def subset(self, count: int, rng: Optional[np.random.Generator] = None) -> "EvalDataset":
+        rng = rng if rng is not None else np.random.default_rng(0)
+        count = min(count, len(self.items))
+        picks = rng.choice(len(self.items), size=count, replace=False)
+        return EvalDataset(
+            name=self.name,
+            task_type=self.task_type,
+            items=[self.items[int(i)] for i in picks],
+            vocab=self.vocab,
+            paper_num_queries=self.paper_num_queries,
+            paper_median_seq_len=self.paper_median_seq_len,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Query assembly helpers
+# ---------------------------------------------------------------------------
+
+
+def _filler_ids(vocab: Vocabulary, rng: np.random.Generator, count: int) -> List[int]:
+    pool = vocab.categories["filler"]
+    if count <= 0:
+        return []
+    picks = rng.integers(0, len(pool), size=count)
+    return [pool[int(i)] for i in picks]
+
+
+def _assemble_query(
+    vocab: Vocabulary,
+    prompt_tokens: Sequence[str],
+    answer_tokens: Sequence[str],
+    target_length: int,
+    rng: np.random.Generator,
+) -> Query:
+    """BOS + filler narrative + prompt + <ans> + answer + EOS.
+
+    Filler pads the sequence toward ``target_length`` so dataset length
+    statistics follow the configured distribution. Labels supervise the
+    answer tokens and EOS only.
+    """
+    prompt_ids = vocab.encode(list(prompt_tokens))
+    answer_ids = vocab.encode(list(answer_tokens))
+    core = 1 + len(prompt_ids) + 1 + len(answer_ids) + 1  # bos, <ans>, eos
+    filler = _filler_ids(vocab, rng, target_length - core)
+
+    ids = [vocab.bos_id, *filler, *prompt_ids, vocab.answer_id, *answer_ids, vocab.eos_id]
+    input_ids = np.array(ids, dtype=np.int64)
+
+    # Next-token labels: position t predicts token t+1. Supervise exactly
+    # the positions whose *target* is an answer token or the final EOS.
+    labels = np.full(len(ids), IGNORE_INDEX, dtype=np.int64)
+    answer_start = len(ids) - len(answer_ids) - 1  # index of first answer token
+    for position in range(answer_start - 1, len(ids) - 1):
+        labels[position] = ids[position + 1]
+    return Query(input_ids=input_ids, labels=labels)
+
+
+# ---------------------------------------------------------------------------
+# Dataset builders — one per paper dataset (Table II)
+# ---------------------------------------------------------------------------
+
+
+def build_commonsense15k(
+    vocab: Vocabulary,
+    world: KnowledgeWorld,
+    size: int = 15000,
+    seed: int = 1,
+    length_scale: float = 1.0,
+) -> SyntheticDataset:
+    """Commonsense-15k: fact-recall fine-tuning queries (median len 79)."""
+    rng = np.random.default_rng(seed)
+    dist = SeqLenDistribution(median=79, sigma=0.45).scaled(length_scale)
+    lengths = dist.sample(rng, size)
+    queries = []
+    for i in range(size):
+        fact = world.sample_fact(rng)
+        queries.append(
+            _assemble_query(
+                vocab,
+                prompt_tokens=(fact.entity, fact.relation),
+                answer_tokens=(fact.value,),
+                target_length=int(lengths[i]),
+                rng=rng,
+            )
+        )
+    return SyntheticDataset(
+        name="commonsense15k",
+        task_type="commonsense",
+        queries=queries,
+        vocab=vocab,
+        seq_len_distribution=dist,
+        paper_num_queries=15000,
+        paper_median_seq_len=79,
+    )
+
+
+def build_math14k(
+    vocab: Vocabulary,
+    world: ArithmeticWorld,
+    size: int = 14000,
+    seed: int = 2,
+    length_scale: float = 1.0,
+) -> SyntheticDataset:
+    """MATH-14k: arithmetic fine-tuning queries (median len 174)."""
+    rng = np.random.default_rng(seed)
+    dist = SeqLenDistribution(median=174, sigma=0.45).scaled(length_scale)
+    lengths = dist.sample(rng, size)
+    queries = []
+    for i in range(size):
+        problem = world.sample_problem(rng)
+        lhs, op, rhs = problem.operand_tokens()
+        queries.append(
+            _assemble_query(
+                vocab,
+                prompt_tokens=(lhs, op, rhs, "equals"),
+                answer_tokens=(problem.answer_token,),
+                target_length=int(lengths[i]),
+                rng=rng,
+            )
+        )
+    return SyntheticDataset(
+        name="math14k",
+        task_type="math",
+        queries=queries,
+        vocab=vocab,
+        seq_len_distribution=dist,
+        paper_num_queries=14000,
+        paper_median_seq_len=174,
+    )
+
+
+def build_hellaswag(
+    vocab: Vocabulary,
+    world: KnowledgeWorld,
+    size: int = 10000,
+    seed: int = 3,
+    num_choices: int = 4,
+    length_scale: float = 1.0,
+) -> EvalDataset:
+    """HellaSwag stand-in: 4-way multiple choice over the fact base."""
+    rng = np.random.default_rng(seed)
+    dist = SeqLenDistribution(median=272, sigma=0.4).scaled(length_scale)
+    lengths = dist.sample(rng, size)
+    items = []
+    for i in range(size):
+        fact = world.sample_fact(rng)
+        distractors = world.distractor_values(fact, rng, num_choices - 1)
+        correct = int(rng.integers(0, num_choices))
+        values = distractors[:correct] + [fact.value] + distractors[correct:]
+        filler = _filler_ids(vocab, rng, int(lengths[i]) - 5)
+        prompt = [vocab.bos_id, *filler, *vocab.encode([fact.entity, fact.relation]), vocab.answer_id]
+        items.append(
+            EvalItem(
+                prompt_ids=np.array(prompt, dtype=np.int64),
+                choices=[np.array(vocab.encode([value]), dtype=np.int64) for value in values],
+                correct_index=correct,
+                kind="choice",
+            )
+        )
+    return EvalDataset(
+        name="hellaswag",
+        task_type="commonsense",
+        items=items,
+        vocab=vocab,
+        paper_num_queries=10000,
+        paper_median_seq_len=272,
+    )
+
+
+def build_pretraining_corpus(
+    vocab: Vocabulary,
+    size: int = 600,
+    seed: int = 9,
+    median_length: float = 24.0,
+    shadow_seed: int = 10_007,
+) -> SyntheticDataset:
+    """Generic text for the light pre-training phase.
+
+    Three sequence styles teach domain *structure* and generic QA
+    *circuits* without leaking the evaluation facts:
+
+    * narrative — filler tokens with occasional random domain tokens;
+    * shadow commonsense QA — ``entity relation <ans> value`` answered
+      from a **shadow fact table** (an independently seeded
+      :class:`~repro.data.world.KnowledgeWorld`). Deterministic answers
+      force attention to route the (entity, relation) pair to the answer
+      position — the generic question-answering circuit every pre-trained
+      LLM has — but the table disagrees with the evaluation world, so
+      pre-fine-tune accuracy stays at chance (matching the paper's <25%
+      HE / <10% GS baselines);
+    * shadow math QA — ``a op b equals <ans> n`` answered by a fixed
+      pseudo-arithmetic hash, for the same reason.
+
+    Fine-tuning then only has to *rebind* the lookup tables — a low-rank
+    edit that QLoRA adapters on the MoE layers can express.
+    """
+    from .world import KnowledgeWorld  # local import to avoid a cycle
+
+    rng = np.random.default_rng(seed)
+    shadow_world = KnowledgeWorld(vocab, seed=shadow_seed)
+    dist = SeqLenDistribution(median=median_length, sigma=0.4, minimum=8, maximum=96)
+    lengths = dist.sample(rng, size)
+    numbers = vocab.categories["number"]
+    max_number = len(numbers) - 1
+    operators = ("plus", "minus", "times")
+    interesting = (
+        vocab.categories["entity"]
+        + vocab.categories["relation"]
+        + vocab.categories["value"]
+        + numbers
+    )
+    filler = vocab.categories["filler"]
+
+    def shadow_math_answer(lhs: int, rhs: int, op: str) -> int:
+        # Deterministic but non-arithmetic: learnable structure, wrong math.
+        return (lhs * 7 + rhs * 3 + operators.index(op) * 11) % (max_number + 1)
+
+    def narrative(length: int) -> list:
+        ids = [vocab.bos_id]
+        while len(ids) < length - 1:
+            pool = interesting if rng.random() < 0.2 else filler
+            ids.append(pool[int(rng.integers(0, len(pool)))])
+        ids.append(vocab.eos_id)
+        return ids
+
+    def shadow_commonsense(length: int) -> list:
+        fact = shadow_world.sample_fact(rng)
+        head = _filler_ids(vocab, rng, max(0, length - 7))
+        body = vocab.encode([fact.entity, fact.relation])
+        return [vocab.bos_id, *head, *body, vocab.answer_id, *vocab.encode([fact.value]), vocab.eos_id]
+
+    def shadow_math(length: int) -> list:
+        lhs = int(rng.integers(0, 21))
+        rhs = int(rng.integers(0, 21))
+        op = operators[int(rng.integers(0, 3))]
+        answer = shadow_math_answer(lhs, rhs, op)
+        head = _filler_ids(vocab, rng, max(0, length - 9))
+        body = vocab.encode([f"n{lhs}", op, f"n{rhs}", "equals"])
+        return [vocab.bos_id, *head, *body, vocab.answer_id, *vocab.encode([f"n{answer}"]), vocab.eos_id]
+
+    builders = (narrative, shadow_commonsense, shadow_math)
+    weights = (0.34, 0.33, 0.33)
+    queries = []
+    for i in range(size):
+        style = rng.choice(len(builders), p=weights)
+        ids = builders[int(style)](int(lengths[i]))
+        arr = np.array(ids, dtype=np.int64)
+        labels = np.full(len(ids), IGNORE_INDEX, dtype=np.int64)
+        labels[:-1] = arr[1:]
+        queries.append(Query(input_ids=arr, labels=labels))
+    return SyntheticDataset(
+        name="pretraining-corpus",
+        task_type="generic",
+        queries=queries,
+        vocab=vocab,
+        seq_len_distribution=dist,
+        paper_num_queries=size,
+        paper_median_seq_len=int(median_length),
+    )
+
+
+def build_gsm8k(
+    vocab: Vocabulary,
+    world: ArithmeticWorld,
+    size: int = 1300,
+    seed: int = 4,
+    length_scale: float = 1.0,
+) -> EvalDataset:
+    """GSM8K stand-in: exact-match arithmetic answers."""
+    rng = np.random.default_rng(seed)
+    dist = SeqLenDistribution(median=148, sigma=0.4).scaled(length_scale)
+    lengths = dist.sample(rng, size)
+    items = []
+    for i in range(size):
+        problem = world.sample_problem(rng)
+        lhs, op, rhs = problem.operand_tokens()
+        filler = _filler_ids(vocab, rng, int(lengths[i]) - 7)
+        prompt = [vocab.bos_id, *filler, *vocab.encode([lhs, op, rhs, "equals"]), vocab.answer_id]
+        items.append(
+            EvalItem(
+                prompt_ids=np.array(prompt, dtype=np.int64),
+                choices=[np.array(vocab.encode([problem.answer_token]), dtype=np.int64)],
+                correct_index=0,
+                kind="exact",
+            )
+        )
+    return EvalDataset(
+        name="gsm8k",
+        task_type="math",
+        items=items,
+        vocab=vocab,
+        paper_num_queries=1300,
+        paper_median_seq_len=148,
+    )

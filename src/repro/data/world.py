@@ -1,0 +1,131 @@
+"""Synthetic knowledge world behind the commonsense and math tasks.
+
+The paper fine-tunes on two domains: commonsense question answering
+(Commonsense-15k train / HellaSwag eval) and arithmetic reasoning
+(MATH-14k train / GSM8K eval). The synthetic stand-ins preserve the
+properties that drive the paper's findings:
+
+* **Commonsense** = fact memorization over a small entity-relation
+  knowledge base. A fine-tuned model answers by recalling facts; an
+  untrained model is at chance on 4-way multiple choice (the paper's
+  pre-trained baselines score under 25%).
+* **Math** = compositional arithmetic over number tokens. The answer
+  space is much larger and compositional, which is why small models learn
+  it poorly (the paper: "math is harder for smaller LLMs to learn", and
+  BlackMamba is inadequate on GSM8K).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .tokenizer import Vocabulary
+
+
+@dataclass(frozen=True)
+class Fact:
+    """A (subject, relation) -> value triple."""
+
+    entity: str
+    relation: str
+    value: str
+
+
+@dataclass(frozen=True)
+class MathProblem:
+    """A small arithmetic problem ``a op b = c`` with single-token answer."""
+
+    lhs: int
+    rhs: int
+    op: str  # "plus" | "minus" | "times"
+    answer: int
+
+    def operand_tokens(self) -> Tuple[str, str, str]:
+        return (f"n{self.lhs}", self.op, f"n{self.rhs}")
+
+    @property
+    def answer_token(self) -> str:
+        return f"n{self.answer}"
+
+
+class KnowledgeWorld:
+    """Deterministic fact base shared by the train and eval datasets.
+
+    Using one world for Commonsense-15k (train) and HellaSwag (eval)
+    mirrors the paper's setup where fine-tuning on one commonsense corpus
+    transfers to another: the *knowledge* overlaps, the presentation
+    differs.
+    """
+
+    def __init__(self, vocab: Vocabulary, seed: int = 0) -> None:
+        self.vocab = vocab
+        rng = np.random.default_rng(seed)
+        entities = [vocab.id_to_token[i] for i in vocab.categories["entity"]]
+        relations = [vocab.id_to_token[i] for i in vocab.categories["relation"]]
+        values = [vocab.id_to_token[i] for i in vocab.categories["value"]]
+
+        self.entities = entities
+        self.relations = relations
+        self.values = values
+        self.facts: List[Fact] = []
+        self._fact_index: Dict[Tuple[str, str], str] = {}
+        for entity in entities:
+            for relation in relations:
+                value = values[int(rng.integers(0, len(values)))]
+                self.facts.append(Fact(entity, relation, value))
+                self._fact_index[(entity, relation)] = value
+
+    def lookup(self, entity: str, relation: str) -> str:
+        return self._fact_index[(entity, relation)]
+
+    def sample_fact(self, rng: np.random.Generator) -> Fact:
+        return self.facts[int(rng.integers(0, len(self.facts)))]
+
+    def distractor_values(self, fact: Fact, rng: np.random.Generator, count: int) -> List[str]:
+        """Wrong answers for multiple-choice items (unique, != truth)."""
+        pool = [value for value in self.values if value != fact.value]
+        chosen = rng.choice(len(pool), size=count, replace=False)
+        return [pool[int(i)] for i in chosen]
+
+
+class ArithmeticWorld:
+    """Generator of small arithmetic problems with single-token answers.
+
+    Operand ranges are chosen so every answer stays within the number
+    vocabulary: a + b <= max_number, a - b >= 0, a * b <= max_number.
+    """
+
+    def __init__(self, vocab: Vocabulary, max_operand: int = 20) -> None:
+        self.vocab = vocab
+        self.max_number = len(vocab.categories["number"]) - 1
+        self.max_operand = min(max_operand, self.max_number)
+
+    def sample_problem(self, rng: np.random.Generator) -> MathProblem:
+        op = ("plus", "minus", "times")[int(rng.integers(0, 3))]
+        if op == "plus":
+            lhs = int(rng.integers(0, self.max_operand + 1))
+            rhs = int(rng.integers(0, min(self.max_operand, self.max_number - lhs) + 1))
+            answer = lhs + rhs
+        elif op == "minus":
+            lhs = int(rng.integers(0, self.max_operand + 1))
+            rhs = int(rng.integers(0, lhs + 1))
+            answer = lhs - rhs
+        else:
+            lhs = int(rng.integers(0, int(np.sqrt(self.max_number)) + 1))
+            rhs = int(rng.integers(0, self.max_number // max(1, lhs) + 1 if lhs else self.max_number + 1))
+            rhs = min(rhs, self.max_number // max(1, lhs)) if lhs else rhs
+            answer = lhs * rhs
+        if not 0 <= answer <= self.max_number:
+            raise AssertionError(f"answer {answer} escaped vocabulary range")
+        return MathProblem(lhs=lhs, rhs=rhs, op=op, answer=answer)
+
+    def distractor_answers(self, problem: MathProblem, rng: np.random.Generator, count: int) -> List[str]:
+        wrong: List[int] = []
+        while len(wrong) < count:
+            candidate = int(rng.integers(0, self.max_number + 1))
+            if candidate != problem.answer and candidate not in wrong:
+                wrong.append(candidate)
+        return [f"n{value}" for value in wrong]

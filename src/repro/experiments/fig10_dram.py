@@ -1,0 +1,32 @@
+"""Fig. 10 — DRAM bandwidth utilization of MoE kernels vs batch size.
+
+Headline insights: time-weighted memory utilization *decreases* with
+batch size (weights amortize over the batch); matmul DRAM% falls while
+dequant DRAM% is batch-independent; large batches turn the workload
+compute-bound (Takeaway 5).
+"""
+
+from __future__ import annotations
+
+from ..gpu import A40, GPUSimulator
+from ..models import BLACKMAMBA_2_8B, MIXTRAL_8X7B
+from .common import ExperimentResult
+from .fig4_stages import BLACKMAMBA_POINTS, MIXTRAL_POINTS, SEQ_LEN
+
+
+def run(gpu=A40) -> ExperimentResult:
+    result = ExperimentResult("fig10", "DRAM bandwidth utilization of MoE kernels (%)")
+    sim = GPUSimulator(gpu)
+    for cfg, points in ((MIXTRAL_8X7B, MIXTRAL_POINTS), (BLACKMAMBA_2_8B, BLACKMAMBA_POINTS)):
+        for dense, batch in points:
+            trace = sim.simulate_step(cfg, batch, SEQ_LEN, dense=dense)
+            tag = f"{cfg.family}_{'D' if dense else 'S'}{batch}"
+            for name, value in sorted(trace.dram_utilization_by_kernel("moe").items()):
+                result.add(f"{tag}_{name}", value)
+            result.add(f"{tag}_time_weighted", trace.time_weighted_dram("moe"))
+
+    tw_s1 = sim.simulate_step(MIXTRAL_8X7B, 1, SEQ_LEN, dense=False).time_weighted_dram("moe")
+    tw_s32 = sim.simulate_step(MIXTRAL_8X7B, 32, SEQ_LEN, dense=False).time_weighted_dram("moe")
+    result.add("mixtral_tw_dram_drop_s1_to_s32", tw_s1 - tw_s32,
+               note="positive: memory-bound -> compute-bound transition")
+    return result

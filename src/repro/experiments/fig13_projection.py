@@ -1,0 +1,59 @@
+"""Fig. 13 — projected maximum batch size of Mixtral across GPUs.
+
+Fits the paper's Eq. 1 on max-batch observations from the memory oracle
+(our stand-in for "measure on four GPUs") and projects to hypothetical
+100GB and 120GB GPUs. Both the literal two-coefficient form and the
+extended form with a fitted fixed-overhead term are reported; the paper's
+own projection line (28 @ 100GB, 35 @ 120GB) implies the large intercept
+the extended form recovers.
+"""
+
+from __future__ import annotations
+
+from ..core import BatchSizeModel, collect_batch_size_observations
+from ..gpu import A40, A100_40, A100_80, H100
+from ..memory import max_batch_size
+from ..models import MIXTRAL_8X7B, BLACKMAMBA_2_8B
+from .common import ExperimentResult
+
+PAPER = {
+    "projection_100gb": 28,
+    "projection_120gb": 35,
+    "mixtral_c1": 0.95,
+    "blackmamba_c1": 0.88,
+}
+
+SEQ_LEN = 128
+SPARSITY = 0.25
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult("fig13", "Projected max batch size vs GPU memory")
+    gpus = [A100_40, A40, A100_80, H100]
+
+    observations = collect_batch_size_observations(MIXTRAL_8X7B, gpus)
+    literal = BatchSizeModel.fit(observations)
+    extended = BatchSizeModel.fit(observations, fit_overhead=True)
+
+    result.add("mixtral_c1_literal", literal.c1, PAPER["mixtral_c1"])
+    result.add("mixtral_c1_extended", extended.c1, PAPER["mixtral_c1"])
+    result.add("mixtral_overhead_gb", extended.overhead_gb,
+               note="fixed memory beyond weights recovered by the fit")
+    result.add("mixtral_rmse_literal", literal.rmse(observations))
+    result.add("mixtral_rmse_extended", extended.rmse(observations))
+
+    # Ground truth (oracle) and projection at seq 128, sparse.
+    for gpu in gpus:
+        result.add(
+            f"oracle_{gpu.name}",
+            max_batch_size(MIXTRAL_8X7B, gpu, SEQ_LEN, dense=False),
+            note="memory-oracle ground truth",
+        )
+        result.add(f"projected_{gpu.name}", extended.predict(gpu.memory_gb, SEQ_LEN, SPARSITY))
+    result.add("projection_100gb", extended.predict(100.0, SEQ_LEN, SPARSITY), PAPER["projection_100gb"])
+    result.add("projection_120gb", extended.predict(120.0, SEQ_LEN, SPARSITY), PAPER["projection_120gb"])
+
+    blackmamba_obs = collect_batch_size_observations(BLACKMAMBA_2_8B, gpus)
+    blackmamba_fit = BatchSizeModel.fit(blackmamba_obs, fit_overhead=True)
+    result.add("blackmamba_c1_extended", blackmamba_fit.c1, PAPER["blackmamba_c1"])
+    return result

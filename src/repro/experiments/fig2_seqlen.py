@@ -1,0 +1,27 @@
+"""Fig. 2 — sequence-length distributions of the CS and MATH datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data import SeqLenDistribution
+from .common import ExperimentResult
+
+PAPER_MEDIANS = {"commonsense15k": 79.0, "math14k": 174.0}
+
+
+def run(sample_size: int = 15000, seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult("fig2", "Sequence length distributions")
+    rng = np.random.default_rng(seed)
+    for key, median in PAPER_MEDIANS.items():
+        dist = SeqLenDistribution(median=median, sigma=0.45)
+        lengths = dist.sample(rng, sample_size)
+        counts, edges = dist.histogram(np.random.default_rng(seed + 1), sample_size)
+        result.add(f"{key}_median", float(np.median(lengths)), median)
+        result.add(f"{key}_p90", float(np.percentile(lengths, 90)),
+                   note="right-skewed tail as in the paper's histograms")
+        result.add(f"{key}_max_bin_le_400", int(counts.argmax()),
+                   note="mode bin index of the 0..400 histogram")
+        result.metadata[f"{key}_histogram"] = counts.tolist()
+        result.metadata[f"{key}_bin_edges"] = edges.tolist()
+    return result

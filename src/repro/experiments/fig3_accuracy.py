@@ -1,0 +1,148 @@
+"""Fig. 3 — testing accuracy of dense vs sparse fine-tuning over epochs.
+
+Reproduced at tiny scale on the real training substrate: both model
+families are lightly pre-trained on a shadow-world corpus (structural
+QA circuits, no evaluation facts — see
+:func:`repro.data.datasets.build_pretraining_corpus`), snapshotted, and
+then fine-tuned per arm (dense / sparse x commonsense / math) from the
+same checkpoint, evaluating after every epoch exactly as the paper does.
+
+Validated claims (shape, not absolute values — the substrate models are
+4-6 orders of magnitude smaller than the paper's):
+
+* Takeaway 1: sparse fine-tuning reaches accuracy comparable to dense.
+* Takeaway 2: accuracy converges within 10 epochs.
+* Pre-fine-tuning baselines are weak (<25% HE, <10% GS).
+* Math is the harder task; BlackMamba is inadequate on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..data import build_benchmark_suite, build_pretraining_corpus
+from ..models import (
+    BLACKMAMBA_TINY,
+    BlackMambaModel,
+    MIXTRAL_TINY,
+    MixtralModel,
+    convert_to_qlora,
+)
+from ..training import FineTuner, evaluate, pretrain_language_model
+from .common import ExperimentResult
+
+PAPER_PRE_FT = {"hellaswag": 0.25, "gsm8k": 0.10}  # "under" these values
+
+
+@dataclass(frozen=True)
+class Fig3Scale:
+    """Experiment size; `bench` keeps the full grid tractable in CI."""
+
+    train_size: int
+    eval_items: int
+    pretrain_steps: int
+    epochs: int
+    length_scale: float = 0.2
+
+    @classmethod
+    def preset(cls, name: str) -> "Fig3Scale":
+        presets = {
+            "smoke": cls(train_size=240, eval_items=40, pretrain_steps=120, epochs=3),
+            "bench": cls(train_size=600, eval_items=60, pretrain_steps=400, epochs=6),
+            "full": cls(train_size=1200, eval_items=120, pretrain_steps=600, epochs=10),
+        }
+        if name not in presets:
+            raise KeyError(f"unknown preset {name!r}; options: {sorted(presets)}")
+        return presets[name]
+
+
+def _build_pretrained(family: str, scale: Fig3Scale, suite, corpus, seed: int):
+    """Pretrain one family once; returns (constructor, state_dict)."""
+    rng = np.random.default_rng(seed)
+    if family == "mixtral":
+        model = MixtralModel(MIXTRAL_TINY, finetune_mode="full", gradient_checkpointing=False, rng=rng)
+        lr = 3e-3
+    else:
+        model = BlackMambaModel(BLACKMAMBA_TINY, rng=rng)
+        lr = 3e-3
+    model.set_sparsity(dense=False)
+    pretrain_language_model(model, corpus, steps=scale.pretrain_steps, batch_size=16, learning_rate=lr, seed=seed)
+    return model.state_dict()
+
+
+def _fresh_model(family: str, state: Dict[str, np.ndarray], dense: bool, seed: int):
+    rng = np.random.default_rng(seed)
+    if family == "mixtral":
+        model = MixtralModel(MIXTRAL_TINY, finetune_mode="full", gradient_checkpointing=False, rng=rng)
+        model.load_state_dict(state)
+        model.set_sparsity(dense=dense)
+        convert_to_qlora(model, rng=rng)
+        model.gradient_checkpointing = False  # numpy substrate: speed over memory
+        return model, 8e-3
+    model = BlackMambaModel(BLACKMAMBA_TINY, rng=rng)
+    model.load_state_dict(state)
+    model.set_sparsity(dense=dense)
+    return model, 2e-3
+
+
+def run(scale: str = "bench", seed: int = 42) -> ExperimentResult:
+    cfg = Fig3Scale.preset(scale)
+    result = ExperimentResult("fig3", f"Accuracy vs epoch, dense vs sparse ({scale})")
+    suite = build_benchmark_suite(
+        seed=seed, train_size=cfg.train_size, eval_size=cfg.eval_items, length_scale=cfg.length_scale
+    )
+    corpus = build_pretraining_corpus(suite.vocab, size=max(800, cfg.train_size))
+
+    arms = [
+        ("mixtral", "commonsense15k", "hellaswag"),
+        ("mixtral", "math14k", "gsm8k"),
+        ("blackmamba", "commonsense15k", "hellaswag"),
+        ("blackmamba", "math14k", "gsm8k"),
+    ]
+    pretrained: Dict[str, Dict[str, np.ndarray]] = {}
+    best: Dict[str, float] = {}
+    for family, train_key, eval_key in arms:
+        if family not in pretrained:
+            pretrained[family] = _build_pretrained(family, cfg, suite, corpus, seed)
+        train_ds = suite.train_dataset(train_key)
+        eval_ds = suite.eval_dataset(eval_key)
+        for dense in (True, False):
+            label = f"{family}_{train_key}_{'dense' if dense else 'sparse'}"
+            model, lr = _fresh_model(family, pretrained[family], dense, seed + 1)
+            pre_acc = evaluate(model, eval_ds, limit=cfg.eval_items)
+            tuner = FineTuner(model, train_ds, batch_size=16, learning_rate=lr, seed=seed)
+            history = tuner.train(
+                num_epochs=cfg.epochs,
+                eval_fn=lambda m=model, e=eval_ds: evaluate(m, e, limit=cfg.eval_items),
+            )
+            curve = [pre_acc] + [m.eval_accuracy for m in history.epochs]
+            result.metadata[f"{label}_curve"] = curve
+            result.add(f"{label}_pre_acc", pre_acc)
+            result.add(f"{label}_best_acc", history.best_accuracy())
+            result.add(f"{label}_final_acc", history.final_accuracy)
+            best[label] = history.best_accuracy() or 0.0
+
+    # Claim rows.
+    for family, train_key, eval_key in arms:
+        dense_best = best[f"{family}_{train_key}_dense"]
+        sparse_best = best[f"{family}_{train_key}_sparse"]
+        result.add(
+            f"{family}_{train_key}_sparse_minus_dense",
+            sparse_best - dense_best,
+            note="Takeaway 1: sparse trains comparably to dense",
+        )
+    result.add(
+        "mixtral_he_pre_ft_below_chance_bound",
+        result.row("mixtral_commonsense15k_sparse_pre_acc").measured,
+        PAPER_PRE_FT["hellaswag"],
+        note="paper: pre-trained baseline under 25% on HE",
+    )
+    result.add(
+        "blackmamba_gs_best",
+        best["blackmamba_math14k_sparse"],
+        note="paper: BlackMamba inadequate on math",
+    )
+    return result

@@ -1,0 +1,50 @@
+"""Fig. 4 — execution time breakdown into forward/backward/optimizer.
+
+Profiling setup mirrors the paper: sequence length 128; batch size 1 and
+the maximum supported batch per configuration, plus the sparse maximum.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..gpu import A40, GPUSimulator
+from ..models import BLACKMAMBA_2_8B, MIXTRAL_8X7B
+from .common import ExperimentResult
+
+SEQ_LEN = 128
+
+# (dense, batch) grid per model family as shown in the figure.
+MIXTRAL_POINTS: List[Tuple[bool, int]] = [(True, 1), (True, 10), (False, 1), (False, 10), (False, 32)]
+BLACKMAMBA_POINTS: List[Tuple[bool, int]] = [(True, 1), (True, 30), (False, 1), (False, 30), (False, 84)]
+
+# Qualitative reference values stated in the paper's text.
+PAPER_BLACKMAMBA_OPT_SHARE_B1 = 0.53  # "up to 53%" at sparse batch size 1
+
+
+def run(gpu=A40) -> ExperimentResult:
+    result = ExperimentResult("fig4", "Stage breakdown (forward/backward/optimizer)")
+    sim = GPUSimulator(gpu)
+    for cfg, points in ((MIXTRAL_8X7B, MIXTRAL_POINTS), (BLACKMAMBA_2_8B, BLACKMAMBA_POINTS)):
+        for dense, batch in points:
+            trace = sim.simulate_step(cfg, batch, SEQ_LEN, dense=dense)
+            stages = trace.stage_seconds()
+            tag = f"{cfg.family}_{'D' if dense else 'S'}{batch}"
+            result.add(f"{tag}_forward_s", stages["forward"])
+            result.add(f"{tag}_backward_s", stages["backward"])
+            result.add(f"{tag}_optimizer_s", stages["optimizer"])
+            result.add(
+                f"{tag}_bwd_over_fwd",
+                stages["backward"] / stages["forward"],
+                note="paper: backward typically exceeds forward",
+            )
+    sparse_b1 = sim.simulate_step(BLACKMAMBA_2_8B, 1, SEQ_LEN, dense=False).stage_seconds()
+    share = sparse_b1["optimizer"] / sum(sparse_b1.values())
+    result.add("blackmamba_S1_optimizer_share", share, PAPER_BLACKMAMBA_OPT_SHARE_B1)
+    mixtral_b1 = sim.simulate_step(MIXTRAL_8X7B, 1, SEQ_LEN, dense=False).stage_seconds()
+    result.add(
+        "mixtral_S1_optimizer_share",
+        mixtral_b1["optimizer"] / sum(mixtral_b1.values()),
+        note="paper: negligible (LoRA-only updates)",
+    )
+    return result

@@ -1,0 +1,43 @@
+"""Fig. 6 — kernel-level breakdown of the MoE layer.
+
+Reports per-layer microseconds for the paper's exact kernel vocabulary,
+for both families, across the Fig. 4 batch grid. Headline claims:
+matrix multiplications dominate; dequantization is significant for
+Mixtral especially at low sparsity/batch.
+"""
+
+from __future__ import annotations
+
+from ..gpu import A40, GPUSimulator
+from ..models import BLACKMAMBA_2_8B, MIXTRAL_8X7B
+from .common import ExperimentResult
+from .fig4_stages import BLACKMAMBA_POINTS, MIXTRAL_POINTS, SEQ_LEN
+
+MIXTRAL_KERNELS = (
+    "matmul(w2)", "w2_dequant", "matmul(w3)", "w3_dequant", "matmul(w1)",
+    "w1_dequant", "softmax", "topk", "matmul(router)", "router_dequant",
+)
+BLACKMAMBA_KERNELS = (
+    "matmul(w1)", "gelu", "matmul(w2)", "elementwise_mult", "top_k",
+    "sigmoid", "matmul(router)",
+)
+
+
+def run(gpu=A40) -> ExperimentResult:
+    result = ExperimentResult("fig6", "MoE kernel-level breakdown (us/layer)")
+    sim = GPUSimulator(gpu)
+    for cfg, points, kernel_names in (
+        (MIXTRAL_8X7B, MIXTRAL_POINTS, MIXTRAL_KERNELS),
+        (BLACKMAMBA_2_8B, BLACKMAMBA_POINTS, BLACKMAMBA_KERNELS),
+    ):
+        for dense, batch in points:
+            trace = sim.simulate_step(cfg, batch, SEQ_LEN, dense=dense)
+            table = trace.kernel_seconds_by_name(layer="moe")
+            tag = f"{cfg.family}_{'D' if dense else 'S'}{batch}"
+            for name in kernel_names:
+                result.add(f"{tag}_{name}_us", table.get(name, 0.0) * 1e6)
+            matmul_us = sum(v for k, v in table.items() if k.startswith("matmul")) * 1e6
+            total_us = sum(table.values()) * 1e6
+            result.add(f"{tag}_matmul_share", matmul_us / total_us,
+                       note="paper: matmuls are the largest component")
+    return result

@@ -1,0 +1,74 @@
+"""Fig. 8 — query throughput across models, datasets and batch sizes."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..gpu import A40, GPUSimulator
+from ..models import BLACKMAMBA_2_8B, MIXTRAL_8X7B
+from .common import ExperimentResult
+
+# Paper values read off Fig. 8 (queries/second).
+PAPER: Dict[str, float] = {
+    "mixtral_commonsense15k_D1": 0.3,
+    "mixtral_commonsense15k_D2": 0.5,
+    "mixtral_commonsense15k_S1": 0.3,
+    "mixtral_commonsense15k_S2": 0.7,
+    "mixtral_commonsense15k_S8": 1.7,
+    "mixtral_math14k_D1": 0.3,
+    "mixtral_math14k_S1": 0.3,
+    "mixtral_math14k_S3": 1.0,
+    "blackmamba_commonsense15k_D1": 2.3,
+    "blackmamba_commonsense15k_D6": 7.9,
+    "blackmamba_commonsense15k_S1": 2.4,
+    "blackmamba_commonsense15k_S6": 10.5,
+    "blackmamba_commonsense15k_S20": 14.9,
+    "blackmamba_math14k_D1": 2.2,
+    "blackmamba_math14k_D2": 5.3,
+    "blackmamba_math14k_S1": 2.2,
+    "blackmamba_math14k_S2": 6.5,
+    "blackmamba_math14k_S8": 11.6,
+}
+
+GRID: List[Tuple[object, str, bool, int]] = [
+    (MIXTRAL_8X7B, "commonsense15k", True, 1),
+    (MIXTRAL_8X7B, "commonsense15k", True, 2),
+    (MIXTRAL_8X7B, "commonsense15k", False, 1),
+    (MIXTRAL_8X7B, "commonsense15k", False, 2),
+    (MIXTRAL_8X7B, "commonsense15k", False, 8),
+    (MIXTRAL_8X7B, "math14k", True, 1),
+    (MIXTRAL_8X7B, "math14k", False, 1),
+    (MIXTRAL_8X7B, "math14k", False, 3),
+    (BLACKMAMBA_2_8B, "commonsense15k", True, 1),
+    (BLACKMAMBA_2_8B, "commonsense15k", True, 6),
+    (BLACKMAMBA_2_8B, "commonsense15k", False, 1),
+    (BLACKMAMBA_2_8B, "commonsense15k", False, 6),
+    (BLACKMAMBA_2_8B, "commonsense15k", False, 20),
+    (BLACKMAMBA_2_8B, "math14k", True, 1),
+    (BLACKMAMBA_2_8B, "math14k", True, 2),
+    (BLACKMAMBA_2_8B, "math14k", False, 1),
+    (BLACKMAMBA_2_8B, "math14k", False, 2),
+    (BLACKMAMBA_2_8B, "math14k", False, 8),
+]
+
+# The paper uses the datasets' real (median) lengths for throughput runs.
+THROUGHPUT_SEQ_LEN = {"commonsense15k": 79, "math14k": 174}
+
+
+def run(gpu=A40) -> ExperimentResult:
+    result = ExperimentResult("fig8", "Fine-tuning throughput (queries/second)")
+    sim = GPUSimulator(gpu)
+    for cfg, dataset, dense, batch in GRID:
+        label = f"{cfg.family}_{dataset}_{'D' if dense else 'S'}{batch}"
+        qps = sim.throughput(cfg, batch, THROUGHPUT_SEQ_LEN[dataset], dense=dense)
+        result.add(label, qps, PAPER.get(label))
+    # Headline claims as explicit rows.
+    sparse2 = result.row("mixtral_commonsense15k_S2").measured
+    dense2 = result.row("mixtral_commonsense15k_D2").measured
+    result.add("mixtral_CS_sparse_over_dense_b2", sparse2 / dense2, 0.7 / 0.5,
+               note="sparse beats dense at equal batch size")
+    s1 = result.row("mixtral_commonsense15k_S1").measured
+    s8 = result.row("mixtral_commonsense15k_S8").measured
+    result.add("mixtral_CS_s8_speedup_vs_s1", s8 / s1, 1.7 / 0.35,
+               note="sub-linear scaling: 8x batch -> <8x throughput")
+    return result

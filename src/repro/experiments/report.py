@@ -1,0 +1,54 @@
+"""Run the experiment suite and render a paper-vs-measured report.
+
+Usage::
+
+    python -m repro.experiments.report            # fast artifacts only
+    python -m repro.experiments.report --training # include Fig. 3 / Fig. 11
+
+The output mirrors EXPERIMENTS.md: one table per artifact with measured
+values next to the paper's published numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List
+
+from . import ALL_EXPERIMENTS
+
+# Artifacts that require tiny-model training (minutes, not seconds).
+TRAINING_EXPERIMENTS = ("fig3", "fig11")
+
+
+def run_report(include_training: bool = False, scale: str = "smoke") -> str:
+    """Execute experiments and return the combined report text."""
+    sections: List[str] = []
+    for key, module in ALL_EXPERIMENTS.items():
+        if key in TRAINING_EXPERIMENTS:
+            if not include_training:
+                sections.append(f"== {key}: skipped (rerun with --training) ==")
+                continue
+            result = module.run(scale=scale)
+        else:
+            result = module.run()
+        matched = sum(1 for r in result.rows if r.matches_paper() is True)
+        compared = sum(1 for r in result.rows if r.matches_paper() is not None)
+        sections.append(result.to_table())
+        if compared:
+            sections.append(f"   -> {matched}/{compared} paper-comparable rows within 50%")
+    return "\n\n".join(sections)
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--training", action="store_true",
+                        help="also run the training-based experiments (Fig. 3, Fig. 11)")
+    parser.add_argument("--scale", default="smoke", choices=("smoke", "bench", "full"),
+                        help="size preset for the training experiments")
+    args = parser.parse_args(argv)
+    print(run_report(include_training=args.training, scale=args.scale))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,33 @@
+"""Table I — LLM model inventory (params, memory, layer counts)."""
+
+from __future__ import annotations
+
+from ..models import BLACKMAMBA_2_8B, MIXTRAL_8X7B, model_memory_gb, param_breakdown
+from .common import ExperimentResult
+
+PAPER = {
+    "mixtral_params_b": 47.0,
+    "mixtral_memory_gb": 23.35,
+    "mixtral_layers": 32,
+    "mixtral_moe_experts": 8,
+    "blackmamba_params_b": 2.8,
+    "blackmamba_memory_gb": 5.6,
+    "blackmamba_layers": 18,
+    "blackmamba_moe_experts": 8,
+}
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult("table1", "LLM model inventory")
+    mixtral = param_breakdown(MIXTRAL_8X7B)
+    result.add("mixtral_params_b", mixtral.total / 1e9, PAPER["mixtral_params_b"])
+    result.add("mixtral_memory_gb", model_memory_gb(MIXTRAL_8X7B), PAPER["mixtral_memory_gb"])
+    result.add("mixtral_layers", MIXTRAL_8X7B.num_layers, PAPER["mixtral_layers"])
+    result.add("mixtral_moe_experts", MIXTRAL_8X7B.moe.num_experts, PAPER["mixtral_moe_experts"])
+
+    blackmamba = param_breakdown(BLACKMAMBA_2_8B)
+    result.add("blackmamba_params_b", blackmamba.total / 1e9, PAPER["blackmamba_params_b"])
+    result.add("blackmamba_memory_gb", model_memory_gb(BLACKMAMBA_2_8B), PAPER["blackmamba_memory_gb"])
+    result.add("blackmamba_layers", BLACKMAMBA_2_8B.num_layers, PAPER["blackmamba_layers"])
+    result.add("blackmamba_moe_experts", BLACKMAMBA_2_8B.moe.num_experts, PAPER["blackmamba_moe_experts"])
+    return result

@@ -1,0 +1,26 @@
+"""Table II / Fig. 2 — dataset statistics and sequence-length medians."""
+
+from __future__ import annotations
+
+from ..data import DATASET_STATS, build_benchmark_suite
+from .common import ExperimentResult
+
+
+def run(sample_size: int = 4000, seed: int = 0) -> ExperimentResult:
+    """Build the synthetic datasets and compare medians to Table II."""
+    result = ExperimentResult("table2", "Dataset statistics")
+    suite = build_benchmark_suite(seed=seed, train_size=sample_size, eval_size=max(200, sample_size // 10))
+    for key, dataset in (
+        ("commonsense15k", suite.commonsense15k),
+        ("math14k", suite.math14k),
+    ):
+        stats = DATASET_STATS[key]
+        result.add(f"{key}_median_seq_len", dataset.median_seq_len(), float(stats.median_seq_len))
+        result.add(f"{key}_paper_num_queries", stats.num_queries, stats.num_queries,
+                   note="generator supports full paper-scale count")
+    for key in ("hellaswag", "gsm8k"):
+        stats = DATASET_STATS[key]
+        result.add(f"{key}_paper_num_queries", stats.num_queries, stats.num_queries)
+        result.add(f"{key}_median_seq_len", float(stats.median_seq_len), float(stats.median_seq_len),
+                   note="eval datasets generated at the paper's median")
+    return result

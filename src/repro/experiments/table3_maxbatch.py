@@ -1,0 +1,31 @@
+"""Table III — maximum batch sizes on the A40 for all model/dataset/sparsity
+combinations."""
+
+from __future__ import annotations
+
+from ..gpu import A40
+from ..memory import max_batch_size_for_dataset
+from ..models import BLACKMAMBA_2_8B, MIXTRAL_8X7B
+from .common import ExperimentResult
+
+PAPER = {
+    ("mixtral", "commonsense15k", True): 2,
+    ("mixtral", "commonsense15k", False): 8,
+    ("mixtral", "math14k", True): 1,
+    ("mixtral", "math14k", False): 3,
+    ("blackmamba", "commonsense15k", True): 6,
+    ("blackmamba", "commonsense15k", False): 20,
+    ("blackmamba", "math14k", True): 2,
+    ("blackmamba", "math14k", False): 8,
+}
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult("table3", "Maximum batch size on A40 (48GB)")
+    for cfg in (MIXTRAL_8X7B, BLACKMAMBA_2_8B):
+        for dataset in ("commonsense15k", "math14k"):
+            for dense in (True, False):
+                label = f"{cfg.family}_{dataset}_{'dense' if dense else 'sparse'}"
+                measured = max_batch_size_for_dataset(cfg, A40, dataset, dense=dense)
+                result.add(label, measured, PAPER[(cfg.family, dataset, dense)])
+    return result

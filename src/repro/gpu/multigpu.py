@@ -1,0 +1,144 @@
+"""Multi-GPU data-parallel extension (the paper's stated future work).
+
+The paper closes with: "extending this model to multi-GPU systems is left
+for future exploration." This module provides that extension for the
+simplest and most common scale-out strategy, data parallelism:
+
+* every GPU holds a full model replica and processes its own micro-batch;
+* after each backward pass, gradients of the *trainable* parameters are
+  synchronized with a ring all-reduce, whose per-GPU traffic is
+  ``2 * (N-1)/N * gradient_bytes`` across the interconnect.
+
+Two consequences the model captures:
+
+1. QLoRA fine-tuning data-parallelizes almost perfectly — its gradient
+   set (LoRA adapters, ~0.9 GB for Mixtral) is tiny, so the all-reduce is
+   negligible next to multi-second steps.
+2. Full fine-tuning of BlackMamba moves 5.6 GB of gradients per step, so
+   scaling efficiency degrades visibly on PCIe-class interconnects.
+
+Memory is unchanged per GPU (every replica holds the full state), so the
+single-GPU max batch size applies per device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from ..models.config import BlackMambaConfig, MixtralConfig
+from ..models.params import lora_adapter_parameters, param_breakdown
+from .simulator import GPUSimulator, SoftwareOverhead
+from .specs import GPUSpec
+
+ModelConfig = Union[MixtralConfig, BlackMambaConfig]
+
+# Per-parameter gradient payload on the wire (fp16 gradients).
+GRADIENT_BYTES_PER_PARAM = 2.0
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """GPU-to-GPU link used by the gradient all-reduce."""
+
+    name: str
+    bandwidth_gbs: float  # effective per-GPU all-reduce bandwidth
+    latency_us: float = 20.0
+
+    def allreduce_seconds(self, payload_bytes: float, num_gpus: int) -> float:
+        """Ring all-reduce time for ``payload_bytes`` across ``num_gpus``."""
+        if num_gpus <= 1:
+            return 0.0
+        wire = 2.0 * (num_gpus - 1) / num_gpus * payload_bytes
+        return wire / (self.bandwidth_gbs * 1e9) + 2 * (num_gpus - 1) * self.latency_us * 1e-6
+
+
+PCIE_GEN4 = Interconnect("PCIe-Gen4", bandwidth_gbs=24.0)
+NVLINK = Interconnect("NVLink", bandwidth_gbs=225.0)
+
+
+def trainable_gradient_bytes(cfg: ModelConfig) -> float:
+    """Bytes of gradients synchronized per step under the paper's recipes."""
+    if isinstance(cfg, MixtralConfig):
+        return GRADIENT_BYTES_PER_PARAM * lora_adapter_parameters(cfg)
+    return GRADIENT_BYTES_PER_PARAM * param_breakdown(cfg).total
+
+
+@dataclass
+class MultiGPUEstimate:
+    """Data-parallel throughput estimate."""
+
+    num_gpus: int
+    per_gpu_batch: int
+    step_seconds: float
+    allreduce_seconds: float
+    queries_per_second: float
+    scaling_efficiency: float  # vs num_gpus x single-GPU throughput
+
+
+class DataParallelSimulator:
+    """Data-parallel fine-tuning on ``num_gpus`` identical devices."""
+
+    def __init__(
+        self,
+        gpu: GPUSpec,
+        interconnect: Interconnect = NVLINK,
+        overheads: Optional[Dict[str, SoftwareOverhead]] = None,
+    ) -> None:
+        self.gpu = gpu
+        self.interconnect = interconnect
+        self._single = GPUSimulator(gpu, overheads=overheads)
+
+    def estimate(
+        self,
+        cfg: ModelConfig,
+        per_gpu_batch: int,
+        seq_len: int,
+        num_gpus: int,
+        dense: bool = False,
+        **overrides,
+    ) -> MultiGPUEstimate:
+        if num_gpus < 1:
+            raise ValueError(f"num_gpus must be >= 1, got {num_gpus}")
+        trace = self._single.simulate_step(cfg, per_gpu_batch, seq_len, dense=dense, **overrides)
+        comm = self.interconnect.allreduce_seconds(trainable_gradient_bytes(cfg), num_gpus)
+        # Communication overlaps poorly with the tail of backward in naive
+        # DDP over small adapter sets; model it as serialized.
+        step = trace.total_seconds + comm
+        throughput = num_gpus * per_gpu_batch / step
+        single = trace.queries_per_second
+        efficiency = throughput / (num_gpus * single) if single > 0 else 0.0
+        return MultiGPUEstimate(
+            num_gpus=num_gpus,
+            per_gpu_batch=per_gpu_batch,
+            step_seconds=step,
+            allreduce_seconds=comm,
+            queries_per_second=throughput,
+            scaling_efficiency=efficiency,
+        )
+
+    def scaling_curve(
+        self,
+        cfg: ModelConfig,
+        per_gpu_batch: int,
+        seq_len: int,
+        max_gpus: int = 8,
+        dense: bool = False,
+    ) -> Dict[int, MultiGPUEstimate]:
+        return {
+            n: self.estimate(cfg, per_gpu_batch, seq_len, n, dense=dense)
+            for n in range(1, max_gpus + 1)
+        }
+
+
+def multi_gpu_cost_dollars(
+    estimate: MultiGPUEstimate,
+    num_queries: int,
+    epochs: int,
+    dollars_per_gpu_hour: float,
+) -> float:
+    """Total rental cost: N GPUs for the (shorter) wall-clock duration."""
+    if estimate.queries_per_second <= 0:
+        return float("inf")
+    hours = num_queries * epochs / estimate.queries_per_second / 3600.0
+    return hours * dollars_per_gpu_hour * estimate.num_gpus

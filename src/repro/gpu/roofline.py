@@ -1,0 +1,119 @@
+"""Roofline + occupancy timing model for simulated kernels.
+
+For each kernel we compute a compute-bound time and a memory-bound time
+and take the maximum (classic roofline), with two refinements that drive
+the paper's observed behaviours:
+
+1. **Row saturation** — tensor-core efficiency scales with the GEMM
+   M-dimension (``rows / (rows + rows_half_sat)``). Small batches leave
+   tensor-core tiles under-filled, which is exactly why the paper sees low
+   SM utilization and sub-linear throughput at small batch sizes, and why
+   throughput saturates at large ones (Takeaway 5 / Eq. 2's log shape).
+2. **Issue floor** — instruction-dense but memory-bound kernels (NF4
+   dequant above all) keep SM issue pipelines busy while waiting on DRAM,
+   so their reported SM utilization stays high and batch-independent
+   (Fig. 9 insight 3).
+
+Reported metrics mirror Nsight Compute's:
+
+* ``sm_utilization`` ≈ achieved compute throughput as % of peak, floored
+  by the issue-busy term;
+* ``dram_utilization`` ≈ achieved DRAM traffic as % of peak bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .kernels import Kernel
+from .specs import GPUSpec
+
+COMPUTE_BOUND = "compute"
+MEMORY_BOUND = "memory"
+OVERHEAD_BOUND = "overhead"
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Timing and utilization for one (possibly folded) kernel launch."""
+
+    kernel: Kernel
+    seconds: float  # total for all `count` launches
+    sm_utilization: float  # percent of SM throughput, time-weighted basis
+    dram_utilization: float  # percent of peak DRAM bandwidth
+    bound: str
+
+    @property
+    def name(self) -> str:
+        return self.kernel.name
+
+    @property
+    def microseconds_per_launch(self) -> float:
+        return self.seconds / self.kernel.count * 1e6
+
+
+def _row_efficiency(kernel: Kernel) -> float:
+    half_sat = kernel.profile.rows_half_sat
+    if half_sat <= 0 or kernel.rows <= 0:
+        return 1.0
+    return kernel.rows / (kernel.rows + half_sat)
+
+
+def time_kernel(kernel: Kernel, spec: GPUSpec) -> KernelTiming:
+    """Roofline-time one kernel on ``spec``."""
+    profile = kernel.profile
+    peak_flops = spec.peak_fp16_flops if profile.uses_tensor_cores else spec.peak_fp32_flops
+    row_eff = _row_efficiency(kernel)
+    effective_compute = peak_flops * profile.compute_eff * row_eff * kernel.eff_scale
+    effective_bandwidth = spec.peak_bandwidth * profile.mem_eff
+
+    t_compute = kernel.flops / effective_compute if kernel.flops > 0 else 0.0
+    t_memory = kernel.bytes / effective_bandwidth if kernel.bytes > 0 else 0.0
+    t_overhead = spec.kernel_overhead_us * 1e-6
+    t_work = max(t_compute, t_memory)
+    per_launch = t_work + t_overhead
+
+    if t_work <= t_overhead:
+        bound = OVERHEAD_BOUND
+    elif t_compute >= t_memory:
+        bound = COMPUTE_BOUND
+    else:
+        bound = MEMORY_BOUND
+
+    # Nsight-style utilization percentages.
+    achieved_compute = kernel.flops / per_launch / peak_flops if per_launch > 0 else 0.0
+    sm_util = max(achieved_compute, profile.issue_floor * min(1.0, t_memory / per_launch if per_launch else 0.0))
+    if bound == COMPUTE_BOUND:
+        # A compute-bound kernel keeps its SMs busy for the whole duration;
+        # achieved FLOP fraction is scaled down by tile under-fill.
+        sm_util = max(sm_util, profile.compute_eff * row_eff * (t_compute / per_launch))
+    dram_util = kernel.bytes / per_launch / spec.peak_bandwidth if per_launch > 0 else 0.0
+
+    return KernelTiming(
+        kernel=kernel,
+        seconds=per_launch * kernel.count,
+        sm_utilization=100.0 * min(1.0, sm_util),
+        dram_utilization=100.0 * min(1.0, dram_util),
+        bound=bound,
+    )
+
+
+def time_kernels(kernels: List[Kernel], spec: GPUSpec) -> List[KernelTiming]:
+    return [time_kernel(k, spec) for k in kernels]
+
+
+def time_weighted_sm(timings: List[KernelTiming]) -> float:
+    """Aggregate SM utilization weighted by kernel time (Fig. 9's last bar)."""
+    total = sum(t.seconds for t in timings)
+    if total == 0:
+        return 0.0
+    return sum(t.sm_utilization * t.seconds for t in timings) / total
+
+
+def time_weighted_dram(timings: List[KernelTiming]) -> float:
+    """Aggregate DRAM utilization weighted by kernel time (Fig. 10)."""
+    total = sum(t.seconds for t in timings)
+    if total == 0:
+        return 0.0
+    return sum(t.dram_utilization * t.seconds for t in timings) / total

@@ -1,0 +1,140 @@
+"""Step traces: aggregation views over timed kernels.
+
+A :class:`StepTrace` is the simulator's answer for one fine-tuning step.
+Aggregations mirror the paper's figures: stage totals (Fig. 4), layer
+totals (Fig. 5), per-kernel MoE breakdown (Fig. 6), per-kernel and
+time-weighted SM/DRAM utilization (Figs. 9, 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .kernels import BACKWARD, FORWARD, OPTIMIZER
+from .roofline import KernelTiming, time_weighted_dram, time_weighted_sm
+from .specs import GPUSpec
+
+
+@dataclass
+class StepTrace:
+    """All timed kernels of one simulated fine-tuning step."""
+
+    gpu: GPUSpec
+    batch_size: int
+    seq_len: int
+    dense: bool
+    timings: List[KernelTiming]
+    software_overhead_seconds: float = 0.0
+    label: str = ""
+
+    # ------------------------------------------------------------------
+    # Totals
+    # ------------------------------------------------------------------
+    @property
+    def kernel_seconds(self) -> float:
+        return sum(t.seconds for t in self.timings)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.kernel_seconds + self.software_overhead_seconds
+
+    @property
+    def queries_per_second(self) -> float:
+        """Fine-tuning throughput in the paper's metric."""
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.batch_size / self.total_seconds
+
+    # ------------------------------------------------------------------
+    # Fig. 4: stage breakdown
+    # ------------------------------------------------------------------
+    def stage_seconds(self) -> Dict[str, float]:
+        stages = {FORWARD: 0.0, BACKWARD: 0.0, OPTIMIZER: 0.0}
+        for t in self.timings:
+            stages[t.kernel.stage] += t.seconds
+        # Host-side overhead is spread proportionally over fwd/bwd.
+        compute = stages[FORWARD] + stages[BACKWARD]
+        if compute > 0 and self.software_overhead_seconds > 0:
+            for stage in (FORWARD, BACKWARD):
+                stages[stage] += self.software_overhead_seconds * stages[stage] / compute
+        return stages
+
+    # ------------------------------------------------------------------
+    # Fig. 5: layer breakdown
+    # ------------------------------------------------------------------
+    def layer_seconds(self) -> Dict[str, float]:
+        layers: Dict[str, float] = {}
+        for t in self.timings:
+            layers[t.kernel.layer] = layers.get(t.kernel.layer, 0.0) + t.seconds
+        return layers
+
+    def moe_fraction(self) -> float:
+        """Share of layer time spent in the MoE layer (paper: ~85%)."""
+        layers = self.layer_seconds()
+        layers.pop("optimizer", None)
+        total = sum(layers.values())
+        if total == 0:
+            return 0.0
+        return layers.get("moe", 0.0) / total
+
+    # ------------------------------------------------------------------
+    # Fig. 6: per-kernel breakdown within one layer category
+    # ------------------------------------------------------------------
+    def kernel_seconds_by_name(self, layer: Optional[str] = None, per_layer: bool = True) -> Dict[str, float]:
+        """Seconds per kernel name (fwd+bwd combined, as in Fig. 6).
+
+        With ``per_layer=True`` the totals are divided by the launch count
+        so the numbers read as microsecond-scale per-layer costs.
+        """
+        out: Dict[str, float] = {}
+        for t in self.timings:
+            if layer is not None and t.kernel.layer != layer:
+                continue
+            value = t.seconds / (t.kernel.count if per_layer else 1)
+            out[t.kernel.name] = out.get(t.kernel.name, 0.0) + value
+        return out
+
+    # ------------------------------------------------------------------
+    # Figs. 9 / 10: utilization tables
+    # ------------------------------------------------------------------
+    def _utilization(self, metric: str, layer: Optional[str]) -> Dict[str, float]:
+        groups: Dict[str, List[KernelTiming]] = {}
+        for t in self.timings:
+            if layer is not None and t.kernel.layer != layer:
+                continue
+            groups.setdefault(t.kernel.name, []).append(t)
+        table = {}
+        for name, items in groups.items():
+            total = sum(t.seconds for t in items)
+            value = sum(getattr(t, metric) * t.seconds for t in items) / total if total else 0.0
+            table[name] = value
+        return table
+
+    def sm_utilization_by_kernel(self, layer: Optional[str] = "moe") -> Dict[str, float]:
+        return self._utilization("sm_utilization", layer)
+
+    def dram_utilization_by_kernel(self, layer: Optional[str] = "moe") -> Dict[str, float]:
+        return self._utilization("dram_utilization", layer)
+
+    def time_weighted_sm(self, layer: Optional[str] = "moe") -> float:
+        items = [t for t in self.timings if layer is None or t.kernel.layer == layer]
+        return time_weighted_sm(items)
+
+    def time_weighted_dram(self, layer: Optional[str] = "moe") -> float:
+        items = [t for t in self.timings if layer is None or t.kernel.layer == layer]
+        return time_weighted_dram(items)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        stages = self.stage_seconds()
+        layers = self.layer_seconds()
+        lines = [
+            f"StepTrace[{self.label or 'step'}] on {self.gpu.name}: "
+            f"bsz={self.batch_size} seq={self.seq_len} {'dense' if self.dense else 'sparse'}",
+            f"  total {self.total_seconds:.3f}s -> {self.queries_per_second:.2f} queries/s",
+            "  stages: " + ", ".join(f"{k}={v:.3f}s" for k, v in stages.items()),
+            "  layers: " + ", ".join(f"{k}={v:.3f}s" for k, v in sorted(layers.items())),
+            f"  MoE share: {100 * self.moe_fraction():.1f}%",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,491 @@
+"""Kernel-sequence builders for one fine-tuning step of each model.
+
+These functions translate a model configuration plus run settings (batch
+size, sequence length, dense/sparse routing, QLoRA quantization, gradient
+checkpointing) into the list of kernels a training step launches, using
+the exact kernel vocabulary of the paper's Fig. 6:
+
+* Mixtral MoE: ``matmul(w2), w2_dequant, matmul(w3), w3_dequant,
+  matmul(w1), w1_dequant, softmax, topk, matmul(router), router_dequant``
+* BlackMamba MoE: ``matmul(w1), gelu, matmul(w2), elementwise_mult,
+  top_k, sigmoid, matmul(router)``
+
+Work accounting conventions:
+
+* a multiply-accumulate counts as 2 FLOPs;
+* activations move in fp16 (2 B), NF4 weights read 0.5 B/elem and write
+  2 B/elem on dequant, optimizer state is fp32;
+* the backward stage re-runs the forward under gradient checkpointing
+  (Mixtral) and doubles matmul work for grad-input/grad-weight;
+* LoRA adapter matmuls are folded into their host matmul kernels (<1% of
+  FLOPs at rank 16).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from ..models.config import BlackMambaConfig, MixtralConfig
+from ..models.params import (
+    lora_adapter_parameters,
+    param_breakdown,
+    trainable_parameters,
+)
+from .kernels import BACKWARD, Kernel, KernelKind, OPTIMIZER
+
+FP16 = 2.0
+FP32 = 4.0
+NF4 = 0.5
+DEQUANT_BYTES = NF4 + FP16  # read packed codes, write fp16
+DEQUANT_OPS_PER_ELEM = 6.0  # unpack, look up, scale
+
+# NF4-quantized GEMMs (bitsandbytes-style) run far below plain fp16 GEMM
+# efficiency; fitted against the paper's measured Mixtral throughput.
+QUANTIZED_MATMUL_EFF = 0.49
+
+
+def experts_touched(num_experts: int, top_k: int, tokens: int) -> float:
+    """Expected number of distinct experts receiving at least one token.
+
+    With top-k routing of ``tokens`` tokens over ``num_experts`` experts,
+    each expert is missed with probability ``(1 - k/E)^tokens``; for the
+    batch sizes of interest every expert is effectively touched, which is
+    why the paper's dequant cost is sparsity-independent (Fig. 6).
+    """
+    if tokens <= 0:
+        return 0.0
+    miss = (1.0 - top_k / num_experts) ** tokens
+    return max(1.0, num_experts * (1.0 - miss))
+
+
+# ---------------------------------------------------------------------------
+# Mixtral kernels
+# ---------------------------------------------------------------------------
+
+
+def _mixtral_attention_kernels(cfg: MixtralConfig, tokens: int, batch: int, seq: int, quantized: bool) -> List[Kernel]:
+    d = cfg.dim
+    d_kv = cfg.num_kv_heads * cfg.head_dim
+    proj_elems = d * (d + 2 * d_kv + d)  # q, k, v, o weight elements
+    kernels = []
+    if quantized:
+        kernels.append(
+            Kernel(
+                name="attn_dequant",
+                kind=KernelKind.DEQUANT,
+                flops=DEQUANT_OPS_PER_ELEM * proj_elems,
+                bytes=DEQUANT_BYTES * proj_elems,
+                layer="attention",
+                count=cfg.num_layers,
+            )
+        )
+    kernels.append(
+        Kernel(
+            name="matmul(qkvo)",
+            kind=KernelKind.MATMUL,
+            flops=2.0 * tokens * (d * d + 2 * d * d_kv + d * d),
+            bytes=FP16 * (2 * tokens * d + proj_elems + tokens * (d + 2 * d_kv)),
+            rows=tokens,
+            layer="attention",
+            count=cfg.num_layers,
+            eff_scale=QUANTIZED_MATMUL_EFF if quantized else 1.0,
+        )
+    )
+    kernels.append(
+        Kernel(
+            name="flash_attention",
+            kind=KernelKind.ATTENTION,
+            flops=4.0 * batch * seq * seq * d,
+            bytes=FP16 * 4 * tokens * d,  # FlashAttention2 streams QKV + writes O
+            rows=tokens,
+            layer="attention",
+            count=cfg.num_layers,
+        )
+    )
+    return kernels
+
+
+def _mixtral_moe_kernels(
+    cfg: MixtralConfig, tokens: int, top_k: int, quantized: bool
+) -> List[Kernel]:
+    d = cfg.dim
+    f = cfg.ffn_dim
+    num_experts = cfg.moe.num_experts
+    routed = top_k * tokens  # token-expert assignments
+    touched = experts_touched(num_experts, top_k, tokens)
+    rows_per_expert = routed / touched
+    layers = cfg.num_layers
+
+    kernels = []
+    if quantized:
+        kernels.append(
+            Kernel(
+                "router_dequant",
+                KernelKind.DEQUANT,
+                flops=DEQUANT_OPS_PER_ELEM * d * num_experts,
+                bytes=DEQUANT_BYTES * d * num_experts,
+                layer="moe",
+                count=layers,
+            )
+        )
+    kernels.append(
+        Kernel(
+            "matmul(router)",
+            KernelKind.MATMUL,
+            flops=2.0 * tokens * d * num_experts,
+            bytes=FP16 * (tokens * d + d * num_experts) + FP32 * tokens * num_experts,
+            rows=tokens,
+            layer="moe",
+            count=layers,
+            eff_scale=QUANTIZED_MATMUL_EFF if quantized else 1.0,
+        )
+    )
+    kernels.append(
+        Kernel(
+            "softmax",
+            KernelKind.SOFTMAX,
+            flops=8.0 * tokens * num_experts,
+            bytes=FP32 * 2 * tokens * num_experts,
+            layer="moe",
+            count=layers,
+        )
+    )
+    kernels.append(
+        Kernel(
+            "topk",
+            KernelKind.TOPK,
+            flops=4.0 * tokens * num_experts * math.log2(num_experts),
+            bytes=FP32 * 2 * tokens * num_experts,
+            layer="moe",
+            count=layers,
+        )
+    )
+    # The three expert projections; w1/w3 are (d -> f), w2 is (f -> d).
+    for name, in_dim, out_dim in (("w1", d, f), ("w3", d, f), ("w2", f, d)):
+        weight_elems = touched * in_dim * out_dim
+        if quantized:
+            kernels.append(
+                Kernel(
+                    f"{name}_dequant",
+                    KernelKind.DEQUANT,
+                    flops=DEQUANT_OPS_PER_ELEM * weight_elems,
+                    bytes=DEQUANT_BYTES * weight_elems,
+                    layer="moe",
+                    count=layers,
+                )
+            )
+        kernels.append(
+            Kernel(
+                f"matmul({name})",
+                KernelKind.MATMUL,
+                flops=2.0 * routed * in_dim * out_dim,
+                bytes=FP16 * (routed * in_dim + weight_elems + routed * out_dim),
+                rows=rows_per_expert,
+                layer="moe",
+                count=layers,
+                eff_scale=QUANTIZED_MATMUL_EFF if quantized else 1.0,
+            )
+        )
+    return kernels
+
+
+def _mixtral_norm_kernels(cfg: MixtralConfig, tokens: int) -> List[Kernel]:
+    d = cfg.dim
+    flops = 8.0 * tokens * d
+    traffic = FP16 * 2 * tokens * d
+    return [
+        Kernel("input_norm", KernelKind.NORM, flops, traffic, layer="norm", count=cfg.num_layers),
+        Kernel("post_attn_norm", KernelKind.NORM, flops, traffic, layer="norm", count=cfg.num_layers),
+    ]
+
+
+def _head_kernels(dim: int, vocab: int, tokens: int) -> List[Kernel]:
+    return [
+        Kernel(
+            "embedding",
+            KernelKind.ELEMENTWISE,
+            flops=0.0,
+            bytes=FP16 * tokens * dim,
+            layer="embed",
+        ),
+        Kernel(
+            "lm_head",
+            KernelKind.MATMUL,
+            flops=2.0 * tokens * dim * vocab,
+            bytes=FP16 * (tokens * dim + dim * vocab + tokens * vocab),
+            rows=tokens,
+            layer="head",
+        ),
+    ]
+
+
+def _as_backward(kernels: List[Kernel], matmul_scale: float, other_scale: float) -> List[Kernel]:
+    """Clone forward kernels as backward-stage work.
+
+    ``matmul_scale`` covers grad-input (+ grad-weight for full fine-tuning,
+    + recomputation under checkpointing); ``other_scale`` covers the
+    cheaper backward of pointwise/normalization kernels.
+    """
+    out = []
+    for k in kernels:
+        scale = matmul_scale if k.kind in (KernelKind.MATMUL, KernelKind.ATTENTION, KernelKind.DEQUANT) else other_scale
+        out.append(
+            Kernel(
+                name=k.name,
+                kind=k.kind,
+                flops=k.flops * scale,
+                bytes=k.bytes * scale,
+                rows=k.rows,
+                layer=k.layer,
+                stage=BACKWARD,
+                count=k.count,
+                eff_scale=k.eff_scale,
+            )
+        )
+    return out
+
+
+def _optimizer_kernel(trainable: int, state_bytes_per_param: float) -> Kernel:
+    return Kernel(
+        "adamw_update",
+        KernelKind.OPTIMIZER,
+        flops=12.0 * trainable,
+        bytes=state_bytes_per_param * trainable,
+        layer="optimizer",
+        stage=OPTIMIZER,
+    )
+
+
+def mixtral_step_kernels(
+    cfg: MixtralConfig,
+    batch_size: int,
+    seq_len: int,
+    dense: bool = False,
+    quantized: bool = True,
+    lora: Optional[bool] = None,
+    checkpointing: bool = True,
+    include_backward: bool = True,
+    include_optimizer: bool = True,
+) -> List[Kernel]:
+    """Kernels of one Mixtral fine-tuning step (QLoRA defaults).
+
+    ``quantized`` controls NF4 weight storage (dequant kernels, slower
+    GEMMs); ``lora`` controls the training regime (adapters-only vs full
+    fine-tuning) and defaults to ``quantized`` — the paper's QLoRA setup.
+    Passing them separately enables ablations such as fp16 LoRA.
+
+    The backward matmul scale is 1x grad-input under LoRA (frozen weights
+    need no grad-weight GEMM), 2x under full fine-tuning, plus 1x
+    recomputation when gradient checkpointing is on.
+    """
+    if batch_size < 1 or seq_len < 1:
+        raise ValueError("batch_size and seq_len must be >= 1")
+    lora = quantized if lora is None else lora
+    tokens = batch_size * seq_len
+    top_k = cfg.moe.top_k(dense)
+
+    forward: List[Kernel] = []
+    forward += _head_kernels(cfg.dim, cfg.vocab_size, tokens)[:1]  # embedding
+    forward += _mixtral_norm_kernels(cfg, tokens)
+    forward += _mixtral_attention_kernels(cfg, tokens, batch_size, seq_len, quantized)
+    forward += _mixtral_moe_kernels(cfg, tokens, top_k, quantized)
+    forward += _head_kernels(cfg.dim, cfg.vocab_size, tokens)[1:]  # lm_head
+
+    kernels = list(forward)
+    if include_backward:
+        grad_terms = 1.0 if lora else 2.0  # grad-input (+ grad-weight)
+        recompute = 1.0 if checkpointing else 0.0
+        kernels += _as_backward(forward, matmul_scale=grad_terms + recompute, other_scale=1.0 + recompute)
+    if include_optimizer:
+        trainable = lora_adapter_parameters(cfg) if lora else param_breakdown(cfg).total
+        # fp32 adapters: weight + grad + two moments, read and write.
+        kernels.append(_optimizer_kernel(trainable, state_bytes_per_param=24.0 if lora else 34.0))
+    return kernels
+
+
+# ---------------------------------------------------------------------------
+# BlackMamba kernels
+# ---------------------------------------------------------------------------
+
+
+def _mamba_mixer_kernels(cfg: BlackMambaConfig, tokens: int) -> List[Kernel]:
+    d = cfg.dim
+    inner = cfg.inner_dim
+    state = cfg.state_dim
+    count = cfg.num_mamba_layers
+    kernels = [
+        Kernel(
+            "matmul(in_proj)",
+            KernelKind.MATMUL,
+            flops=2.0 * tokens * d * 2 * inner,
+            bytes=FP16 * (tokens * d + d * 2 * inner + tokens * 2 * inner),
+            rows=tokens,
+            layer="mamba",
+            count=count,
+        ),
+        Kernel(
+            "conv1d",
+            KernelKind.ELEMENTWISE,
+            flops=2.0 * tokens * inner * cfg.conv_kernel,
+            bytes=FP16 * 2 * tokens * inner,
+            layer="mamba",
+            count=count,
+        ),
+        Kernel(
+            "matmul(x_proj)",
+            KernelKind.MATMUL,
+            flops=2.0 * tokens * inner * (cfg.dt_rank + 2 * state),
+            bytes=FP16 * (tokens * inner + inner * (cfg.dt_rank + 2 * state)),
+            rows=tokens,
+            layer="mamba",
+            count=count,
+        ),
+        Kernel(
+            "matmul(dt_proj)",
+            KernelKind.MATMUL,
+            flops=2.0 * tokens * cfg.dt_rank * inner,
+            bytes=FP16 * (tokens * cfg.dt_rank + cfg.dt_rank * inner + tokens * inner),
+            rows=tokens,
+            layer="mamba",
+            count=count,
+        ),
+        Kernel(
+            "ssm_scan",
+            KernelKind.SCAN,
+            flops=6.0 * tokens * inner * state,
+            bytes=FP16 * 4 * tokens * inner * state,
+            layer="mamba",
+            count=count,
+        ),
+        Kernel(
+            "elementwise_gate",
+            KernelKind.ELEMENTWISE,
+            flops=6.0 * tokens * inner,
+            bytes=FP16 * 3 * tokens * inner,
+            layer="mamba",
+            count=count,
+        ),
+        Kernel(
+            "matmul(out_proj)",
+            KernelKind.MATMUL,
+            flops=2.0 * tokens * inner * d,
+            bytes=FP16 * (tokens * inner + inner * d + tokens * d),
+            rows=tokens,
+            layer="mamba",
+            count=count,
+        ),
+    ]
+    return kernels
+
+
+def _blackmamba_moe_kernels(cfg: BlackMambaConfig, tokens: int, top_k: int) -> List[Kernel]:
+    d = cfg.dim
+    f = cfg.ffn_dim
+    num_experts = cfg.moe.num_experts
+    routed = top_k * tokens
+    touched = experts_touched(num_experts, top_k, tokens)
+    rows_per_expert = routed / touched
+    count = cfg.num_moe_layers
+    return [
+        Kernel(
+            "matmul(router)",
+            KernelKind.MATMUL,
+            flops=2.0 * tokens * d * num_experts,
+            bytes=FP16 * (tokens * d + d * num_experts) + FP32 * tokens * num_experts,
+            rows=tokens,
+            layer="moe",
+            count=count,
+        ),
+        Kernel(
+            "sigmoid",
+            KernelKind.ELEMENTWISE,
+            flops=4.0 * tokens * num_experts,
+            bytes=FP32 * 2 * tokens * num_experts,
+            layer="moe",
+            count=count,
+        ),
+        Kernel(
+            "top_k",
+            KernelKind.TOPK,
+            flops=4.0 * tokens * num_experts * math.log2(num_experts),
+            bytes=FP32 * 2 * tokens * num_experts,
+            layer="moe",
+            count=count,
+        ),
+        Kernel(
+            "matmul(w1)",
+            KernelKind.MATMUL,
+            flops=2.0 * routed * d * f,
+            bytes=FP16 * (routed * d + touched * d * f + routed * f),
+            rows=rows_per_expert,
+            layer="moe",
+            count=count,
+        ),
+        Kernel(
+            "gelu",
+            KernelKind.ELEMENTWISE,
+            flops=8.0 * routed * f,
+            bytes=FP16 * 2 * routed * f,
+            layer="moe",
+            count=count,
+        ),
+        Kernel(
+            "matmul(w2)",
+            KernelKind.MATMUL,
+            flops=2.0 * routed * f * d,
+            bytes=FP16 * (routed * f + touched * f * d + routed * d),
+            rows=rows_per_expert,
+            layer="moe",
+            count=count,
+        ),
+        Kernel(
+            "elementwise_mult",
+            KernelKind.ELEMENTWISE,
+            flops=3.0 * routed * d,
+            bytes=FP16 * 3 * routed * d,
+            layer="moe",
+            count=count,
+        ),
+    ]
+
+
+def blackmamba_step_kernels(
+    cfg: BlackMambaConfig,
+    batch_size: int,
+    seq_len: int,
+    dense: bool = False,
+    include_backward: bool = True,
+    include_optimizer: bool = True,
+) -> List[Kernel]:
+    """Kernels of one BlackMamba full-fine-tuning step."""
+    if batch_size < 1 or seq_len < 1:
+        raise ValueError("batch_size and seq_len must be >= 1")
+    tokens = batch_size * seq_len
+    top_k = cfg.moe.top_k(dense)
+
+    forward: List[Kernel] = []
+    forward += _head_kernels(cfg.dim, cfg.vocab_size, tokens)[:1]
+    forward.append(
+        Kernel(
+            "rms_layernorm",
+            KernelKind.NORM,
+            flops=8.0 * tokens * cfg.dim,
+            bytes=FP16 * 2 * tokens * cfg.dim,
+            layer="norm",
+            count=cfg.num_layers,
+        )
+    )
+    forward += _mamba_mixer_kernels(cfg, tokens)
+    forward += _blackmamba_moe_kernels(cfg, tokens, top_k)
+    forward += _head_kernels(cfg.dim, cfg.vocab_size, tokens)[1:]
+
+    kernels = list(forward)
+    if include_backward:
+        # Full fine-tuning: grad-input + grad-weight GEMMs, no recompute.
+        kernels += _as_backward(forward, matmul_scale=2.0, other_scale=1.2)
+    if include_optimizer:
+        trainable = trainable_parameters(cfg)
+        # fp16 weights/grads + fp32 moments + fp32 master, read and write.
+        kernels.append(_optimizer_kernel(trainable, state_bytes_per_param=34.0))
+    return kernels

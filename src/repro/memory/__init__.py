@@ -1,0 +1,25 @@
+"""Memory estimation substrate (S9) — the Table III max-batch-size oracle."""
+
+from .estimator import (
+    EFFECTIVE_SEQ_LEN,
+    MEMORY_CONSTANTS,
+    MemoryBreakdown,
+    MemoryModelConstants,
+    activation_gb_per_query,
+    fits_in_memory,
+    max_batch_size,
+    max_batch_size_for_dataset,
+    memory_breakdown,
+)
+
+__all__ = [
+    "EFFECTIVE_SEQ_LEN",
+    "MEMORY_CONSTANTS",
+    "MemoryBreakdown",
+    "MemoryModelConstants",
+    "activation_gb_per_query",
+    "fits_in_memory",
+    "max_batch_size",
+    "max_batch_size_for_dataset",
+    "memory_breakdown",
+]

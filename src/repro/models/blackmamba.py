@@ -1,0 +1,118 @@
+"""BlackMamba-architecture state-space MoE language model.
+
+BlackMamba (Anthony et al., 2024) interleaves Mamba mixer layers with MoE
+layers of standard GELU FFN experts (the paper's Fig. 1 right path with
+Fig. 7-bottom experts). The paper-scale config places 8 MoE layers among
+18 total. Fine-tuning is *full*: every parameter trains, which is why the
+optimizer stage is a major cost in the paper's Fig. 4.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .. import nn
+from ..tensor import Tensor, checkpoint
+from .config import BlackMambaConfig
+
+
+class MambaLayer(nn.Module):
+    """Pre-norm Mamba mixer with residual."""
+
+    def __init__(self, cfg: BlackMambaConfig, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.norm = nn.RMSNorm(cfg.dim)
+        self.mixer = nn.MambaMixer(
+            cfg.dim,
+            state_dim=cfg.state_dim,
+            expand=cfg.expand,
+            conv_kernel=cfg.conv_kernel,
+            dt_rank=cfg.dt_rank,
+            rng=rng,
+        )
+
+    def forward(self, hidden: Tensor) -> Tensor:
+        return hidden + self.mixer(self.norm(hidden))
+
+
+class MoEFFNLayer(nn.Module):
+    """Pre-norm MoE of GELU experts with residual."""
+
+    def __init__(self, cfg: BlackMambaConfig, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.norm = nn.RMSNorm(cfg.dim)
+        self.moe = nn.MoELayer(
+            dim=cfg.dim,
+            num_experts=cfg.moe.num_experts,
+            top_k=cfg.moe.top_k_sparse,
+            expert_factory=lambda: nn.GeluExpert(cfg.dim, cfg.ffn_dim, rng=rng),
+            rng=rng,
+        )
+
+    def forward(self, hidden: Tensor) -> Tensor:
+        return hidden + self.moe(self.norm(hidden))
+
+
+class BlackMambaModel(nn.Module):
+    """Causal language model over token ids; returns vocabulary logits."""
+
+    def __init__(
+        self,
+        cfg: BlackMambaConfig,
+        gradient_checkpointing: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.cfg = cfg
+        self.gradient_checkpointing = gradient_checkpointing
+        self.embed_tokens = nn.Embedding(cfg.vocab_size, cfg.dim, rng=rng)
+        layers: List[nn.Module] = []
+        for layer_type in cfg.layer_types():
+            if layer_type == "mamba":
+                layers.append(MambaLayer(cfg, rng))
+            else:
+                layers.append(MoEFFNLayer(cfg, rng))
+        self.layers = nn.ModuleList(layers)
+        self.norm = nn.RMSNorm(cfg.dim)
+        self.lm_head = nn.Linear(cfg.dim, cfg.vocab_size, rng=rng)
+
+    # ------------------------------------------------------------------
+    def moe_layers(self) -> List[nn.MoELayer]:
+        return [layer.moe for layer in self.layers if isinstance(layer, MoEFFNLayer)]
+
+    def set_sparsity(self, dense: bool) -> None:
+        for moe in self.moe_layers():
+            moe.set_top_k(self.cfg.moe.top_k(dense))
+
+    def set_aux_loss(self, enabled: bool) -> None:
+        for moe in self.moe_layers():
+            moe.track_aux_loss = enabled
+
+    def collect_aux_loss(self) -> Optional[Tensor]:
+        losses = [moe.aux_loss for moe in self.moe_layers() if moe.aux_loss is not None]
+        if not losses:
+            return None
+        total = losses[0]
+        for extra in losses[1:]:
+            total = total + extra
+        return total / len(losses)
+
+    def expert_load(self) -> np.ndarray:
+        return np.sum([moe.cumulative_expert_counts for moe in self.moe_layers()], axis=0)
+
+    def reset_expert_load(self) -> None:
+        for moe in self.moe_layers():
+            moe.reset_load_statistics()
+
+    # ------------------------------------------------------------------
+    def forward(self, token_ids: np.ndarray) -> Tensor:
+        hidden = self.embed_tokens(token_ids)
+        for layer in self.layers:
+            if self.gradient_checkpointing and self.training:
+                hidden = checkpoint(layer, hidden)
+            else:
+                hidden = layer(hidden)
+        return self.lm_head(self.norm(hidden))

@@ -1,0 +1,146 @@
+"""Model configurations for the two evaluated families.
+
+Each config carries every dimension needed by four consumers:
+
+1. the trainable model constructors (tiny configs only — nobody allocates
+   47B floats in numpy),
+2. the analytic parameter counter (:mod:`repro.models.params`),
+3. the memory estimator (:mod:`repro.memory`),
+4. the GPU simulator's FLOP/byte workload builders (:mod:`repro.gpu`).
+
+Paper-scale configs are tuned to match Table I: Mixtral-8x7B with 46.7B
+parameters (23.35GB in NF4) over 32 layers, and BlackMamba-2.8B (5.6GB in
+fp16) over 18 layers with 8 MoE layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List
+
+
+@dataclass(frozen=True)
+class MoESettings:
+    """Mixture-of-experts knobs shared by both families."""
+
+    num_experts: int = 8
+    top_k_sparse: int = 2
+
+    def sparsity(self, dense: bool) -> float:
+        """Active-expert fraction: 1.0 dense, k/E sparse (paper's notation)."""
+        return 1.0 if dense else self.top_k_sparse / self.num_experts
+
+    def top_k(self, dense: bool) -> int:
+        return self.num_experts if dense else self.top_k_sparse
+
+
+@dataclass(frozen=True)
+class MixtralConfig:
+    """Decoder-only transformer with MoE FFN (Mixtral architecture)."""
+
+    name: str = "mixtral-8x7b"
+    vocab_size: int = 32000
+    dim: int = 4096
+    num_layers: int = 32
+    num_heads: int = 32
+    num_kv_heads: int = 8
+    ffn_dim: int = 14336
+    moe: MoESettings = field(default_factory=MoESettings)
+    lora_rank: int = 16
+    family: str = "mixtral"
+
+    @property
+    def head_dim(self) -> int:
+        return self.dim // self.num_heads
+
+    @property
+    def num_moe_layers(self) -> int:
+        return self.num_layers  # every Mixtral block has an MoE FFN
+
+    def scaled(self, **overrides) -> "MixtralConfig":
+        return replace(self, **overrides)
+
+
+@dataclass(frozen=True)
+class BlackMambaConfig:
+    """State-space model alternating Mamba mixer layers and MoE layers."""
+
+    name: str = "blackmamba-2.8b"
+    vocab_size: int = 50254
+    dim: int = 2048
+    num_layers: int = 18
+    num_moe_layers: int = 8
+    ffn_dim: int = 8960
+    state_dim: int = 16
+    expand: int = 2
+    conv_kernel: int = 4
+    dt_rank: int = 128
+    moe: MoESettings = field(default_factory=MoESettings)
+    family: str = "blackmamba"
+
+    @property
+    def inner_dim(self) -> int:
+        return self.expand * self.dim
+
+    @property
+    def num_mamba_layers(self) -> int:
+        return self.num_layers - self.num_moe_layers
+
+    def layer_types(self) -> List[str]:
+        """Interleave: mamba at even slots, MoE at odd slots until the MoE
+        budget is spent, remaining slots are mamba (18 layers / 8 MoE for
+        the paper-scale model)."""
+        types: List[str] = []
+        moe_remaining = self.num_moe_layers
+        for index in range(self.num_layers):
+            if index % 2 == 1 and moe_remaining > 0:
+                types.append("moe")
+                moe_remaining -= 1
+            else:
+                types.append("mamba")
+        if moe_remaining != 0:
+            raise ValueError(
+                f"cannot place {self.num_moe_layers} MoE layers in {self.num_layers} slots"
+            )
+        return types
+
+    def scaled(self, **overrides) -> "BlackMambaConfig":
+        return replace(self, **overrides)
+
+
+# ---------------------------------------------------------------------------
+# Paper-scale configurations (Table I)
+# ---------------------------------------------------------------------------
+
+MIXTRAL_8X7B = MixtralConfig()
+
+BLACKMAMBA_2_8B = BlackMambaConfig()
+
+
+# ---------------------------------------------------------------------------
+# Tiny trainable configurations for the accuracy / load-balance experiments
+# ---------------------------------------------------------------------------
+
+MIXTRAL_TINY = MixtralConfig(
+    name="mixtral-tiny",
+    vocab_size=512,
+    dim=48,
+    num_layers=2,
+    num_heads=4,
+    num_kv_heads=2,
+    ffn_dim=96,
+    lora_rank=16,  # the paper's LoRA rank
+)
+
+BLACKMAMBA_TINY = BlackMambaConfig(
+    name="blackmamba-tiny",
+    vocab_size=512,
+    dim=24,
+    num_layers=4,
+    num_moe_layers=2,
+    ffn_dim=48,
+    state_dim=4,
+    expand=2,
+    conv_kernel=4,
+    dt_rank=4,
+)

@@ -1,0 +1,158 @@
+"""Mixtral-architecture decoder-only MoE transformer.
+
+Each block is: RMSNorm -> causal self-attention -> residual ->
+RMSNorm -> top-k MoE of SwiGLU experts -> residual (the paper's Fig. 1
+left path with Fig. 7-top experts).
+
+The ``finetune_mode`` mirrors the paper's setup:
+
+* ``"qlora"`` — every expert projection and the router are NF4-quantized
+  and frozen with rank-``lora_rank`` adapters; attention/embeddings/norms
+  are frozen; gradient checkpointing defaults on.
+* ``"full"`` — everything dense and trainable (used for control
+  experiments and tests).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .. import nn
+from ..tensor import Tensor, checkpoint
+from .config import MixtralConfig
+
+
+class MixtralBlock(nn.Module):
+    """One decoder layer: attention sub-block plus MoE sub-block."""
+
+    def __init__(self, cfg: MixtralConfig, finetune_mode: str, rng: np.random.Generator) -> None:
+        super().__init__()
+        quantize = finetune_mode == "qlora"
+        lora_rank = cfg.lora_rank if finetune_mode == "qlora" else 0
+        self.input_layernorm = nn.RMSNorm(cfg.dim)
+        self.self_attn = nn.CausalSelfAttention(
+            cfg.dim, cfg.num_heads, num_kv_heads=cfg.num_kv_heads, rng=rng
+        )
+        self.post_attention_layernorm = nn.RMSNorm(cfg.dim)
+        self.moe = nn.MoELayer(
+            dim=cfg.dim,
+            num_experts=cfg.moe.num_experts,
+            top_k=cfg.moe.top_k_sparse,
+            expert_factory=lambda: nn.SwiGLUExpert(
+                cfg.dim, cfg.ffn_dim, quantize=quantize, lora_rank=lora_rank, rng=rng
+            ),
+            rng=rng,
+        )
+        if finetune_mode == "qlora":
+            # The paper's QLoRA config targets the router too.
+            base = nn.QuantizedLinear.from_linear(self.moe.router.gate)
+            self.moe.router.gate = nn.LoRALinear(base, rank=lora_rank, rng=rng)
+
+    def forward(self, hidden: Tensor) -> Tensor:
+        hidden = hidden + self.self_attn(self.input_layernorm(hidden))
+        hidden = hidden + self.moe(self.post_attention_layernorm(hidden))
+        return hidden
+
+
+class MixtralModel(nn.Module):
+    """Causal language model over token ids; returns vocabulary logits."""
+
+    def __init__(
+        self,
+        cfg: MixtralConfig,
+        finetune_mode: str = "qlora",
+        gradient_checkpointing: Optional[bool] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if finetune_mode not in ("qlora", "full"):
+            raise ValueError(f"finetune_mode must be 'qlora' or 'full', got {finetune_mode!r}")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.cfg = cfg
+        self.finetune_mode = finetune_mode
+        # The paper enables gradient checkpointing for Mixtral QLoRA runs.
+        self.gradient_checkpointing = (
+            gradient_checkpointing if gradient_checkpointing is not None else finetune_mode == "qlora"
+        )
+        self.embed_tokens = nn.Embedding(cfg.vocab_size, cfg.dim, rng=rng)
+        self.layers = nn.ModuleList(
+            [MixtralBlock(cfg, finetune_mode, rng) for _ in range(cfg.num_layers)]
+        )
+        self.norm = nn.RMSNorm(cfg.dim)
+        self.lm_head = nn.Linear(cfg.dim, cfg.vocab_size, rng=rng)
+        if finetune_mode == "qlora":
+            # Freeze everything that is not a LoRA adapter.
+            for name, param in self.named_parameters():
+                if "lora_" not in name:
+                    param.requires_grad = False
+
+    # ------------------------------------------------------------------
+    def moe_layers(self) -> List[nn.MoELayer]:
+        return [block.moe for block in self.layers]
+
+    def set_sparsity(self, dense: bool) -> None:
+        """Toggle between dense (all experts) and sparse (top-2) routing."""
+        for moe in self.moe_layers():
+            moe.set_top_k(self.cfg.moe.top_k(dense))
+
+    def set_aux_loss(self, enabled: bool) -> None:
+        for moe in self.moe_layers():
+            moe.track_aux_loss = enabled
+
+    def collect_aux_loss(self) -> Optional[Tensor]:
+        losses = [moe.aux_loss for moe in self.moe_layers() if moe.aux_loss is not None]
+        if not losses:
+            return None
+        total = losses[0]
+        for extra in losses[1:]:
+            total = total + extra
+        return total / len(losses)
+
+    def expert_load(self) -> np.ndarray:
+        """Cumulative token counts per expert, summed over layers (Fig. 11)."""
+        return np.sum([moe.cumulative_expert_counts for moe in self.moe_layers()], axis=0)
+
+    def reset_expert_load(self) -> None:
+        for moe in self.moe_layers():
+            moe.reset_load_statistics()
+
+    # ------------------------------------------------------------------
+    def forward(self, token_ids: np.ndarray) -> Tensor:
+        hidden = self.embed_tokens(token_ids)
+        for block in self.layers:
+            if self.gradient_checkpointing and self.training:
+                hidden = checkpoint(block, hidden)
+            else:
+                hidden = block(hidden)
+        return self.lm_head(self.norm(hidden))
+
+
+def convert_to_qlora(model: MixtralModel, rng: Optional[np.random.Generator] = None) -> MixtralModel:
+    """Convert a dense (``finetune_mode='full'``) model to QLoRA in place.
+
+    This mirrors the paper's pipeline: start from a *pre-trained* dense
+    checkpoint, NF4-quantize the MoE weights (experts and router), attach
+    rank-``cfg.lora_rank`` adapters, and freeze everything else. Returns
+    the same model object for convenience.
+    """
+    if model.finetune_mode == "qlora":
+        return model
+    rng = rng if rng is not None else np.random.default_rng()
+    rank = model.cfg.lora_rank
+    for block in model.layers:
+        moe = block.moe
+        for expert in moe.experts:
+            expert.w1 = nn.LoRALinear(nn.QuantizedLinear.from_linear(expert.w1), rank=rank, rng=rng)
+            expert.w3 = nn.LoRALinear(nn.QuantizedLinear.from_linear(expert.w3), rank=rank, rng=rng)
+            expert.w2 = nn.LoRALinear(nn.QuantizedLinear.from_linear(expert.w2), rank=rank, rng=rng)
+        moe.router.gate = nn.LoRALinear(
+            nn.QuantizedLinear.from_linear(moe.router.gate), rank=rank, rng=rng
+        )
+    for name, param in model.named_parameters():
+        if "lora_" not in name:
+            param.requires_grad = False
+    model.finetune_mode = "qlora"
+    model.gradient_checkpointing = True
+    return model

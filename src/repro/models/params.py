@@ -1,0 +1,135 @@
+"""Analytic parameter and memory accounting (reproduces Table I).
+
+The breakdown formulas mirror the constructors in
+:mod:`repro.models.mixtral` / :mod:`repro.models.blackmamba` exactly; a
+unit test builds the tiny models and asserts the analytic count equals the
+actual number of allocated parameters, which validates the paper-scale
+numbers computed from the same formulas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Union
+
+from .config import BlackMambaConfig, MixtralConfig
+
+# The paper reports memory in decimal gigabytes (46.7B params x 0.5 B/param
+# = 23.35 "GB" in Table I), so all capacity accounting uses GB = 1e9 bytes.
+GB = 1e9
+
+ModelConfig = Union[MixtralConfig, BlackMambaConfig]
+
+
+@dataclass(frozen=True)
+class ParamBreakdown:
+    """Per-component parameter counts plus convenience totals."""
+
+    components: Dict[str, int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.components.values())
+
+    def total_bytes(self, bytes_per_param: float) -> float:
+        return self.total * bytes_per_param
+
+    def total_gb(self, bytes_per_param: float) -> float:
+        return self.total_bytes(bytes_per_param) / GB
+
+
+def mixtral_param_breakdown(cfg: MixtralConfig) -> ParamBreakdown:
+    head_dim = cfg.head_dim
+    attn = (
+        cfg.dim * cfg.num_heads * head_dim  # q
+        + cfg.dim * cfg.num_kv_heads * head_dim  # k
+        + cfg.dim * cfg.num_kv_heads * head_dim  # v
+        + cfg.num_heads * head_dim * cfg.dim  # o
+    )
+    expert = 3 * cfg.dim * cfg.ffn_dim  # w1, w2, w3
+    moe = cfg.moe.num_experts * expert + cfg.dim * cfg.moe.num_experts  # + router
+    norms = 2 * cfg.dim  # input + post-attention RMSNorm weights
+    per_layer = attn + moe + norms
+    return ParamBreakdown(
+        components={
+            "embedding": cfg.vocab_size * cfg.dim,
+            "attention": cfg.num_layers * attn,
+            "moe_experts": cfg.num_layers * cfg.moe.num_experts * expert,
+            "moe_router": cfg.num_layers * cfg.dim * cfg.moe.num_experts,
+            "norms": cfg.num_layers * norms + cfg.dim,  # + final norm
+            "lm_head": cfg.vocab_size * cfg.dim,
+        }
+    )
+
+
+def blackmamba_param_breakdown(cfg: BlackMambaConfig) -> ParamBreakdown:
+    inner = cfg.inner_dim
+    mamba = (
+        cfg.dim * 2 * inner  # in_proj
+        + inner * cfg.conv_kernel + inner  # depthwise conv weight + bias
+        + inner * (cfg.dt_rank + 2 * cfg.state_dim)  # x_proj
+        + cfg.dt_rank * inner + inner  # dt_proj weight + bias
+        + inner * cfg.state_dim  # A_log
+        + inner  # D skip
+        + inner * cfg.dim  # out_proj
+    )
+    expert = 2 * cfg.dim * cfg.ffn_dim  # w1, w2
+    moe = cfg.moe.num_experts * expert + cfg.dim * cfg.moe.num_experts
+    norms = cfg.num_layers * cfg.dim + cfg.dim  # one pre-norm per layer + final
+    return ParamBreakdown(
+        components={
+            "embedding": cfg.vocab_size * cfg.dim,
+            "mamba": cfg.num_mamba_layers * mamba,
+            "moe_experts": cfg.num_moe_layers * cfg.moe.num_experts * expert,
+            "moe_router": cfg.num_moe_layers * cfg.dim * cfg.moe.num_experts,
+            "norms": norms,
+            "lm_head": cfg.vocab_size * cfg.dim,
+        }
+    )
+
+
+def param_breakdown(cfg: ModelConfig) -> ParamBreakdown:
+    if isinstance(cfg, MixtralConfig):
+        return mixtral_param_breakdown(cfg)
+    if isinstance(cfg, BlackMambaConfig):
+        return blackmamba_param_breakdown(cfg)
+    raise TypeError(f"unsupported config type {type(cfg).__name__}")
+
+
+def lora_adapter_parameters(cfg: MixtralConfig) -> int:
+    """Trainable parameters when QLoRA targets MoE experts and routers.
+
+    Each adapted projection of shape (out, in) contributes
+    ``rank * (in + out)``; the paper adapts w1/w2/w3 of every expert plus
+    the router in every layer, with rank 16.
+    """
+    r = cfg.lora_rank
+    per_expert = (
+        r * (cfg.dim + cfg.ffn_dim)  # w1
+        + r * (cfg.dim + cfg.ffn_dim)  # w3
+        + r * (cfg.ffn_dim + cfg.dim)  # w2
+    )
+    per_router = r * (cfg.dim + cfg.moe.num_experts)
+    per_layer = cfg.moe.num_experts * per_expert + per_router
+    return cfg.num_layers * per_layer
+
+
+def trainable_parameters(cfg: ModelConfig) -> int:
+    """Paper setup: QLoRA adapters for Mixtral, everything for BlackMamba."""
+    if isinstance(cfg, MixtralConfig):
+        return lora_adapter_parameters(cfg)
+    return param_breakdown(cfg).total
+
+
+def weight_bytes_per_param(cfg: ModelConfig) -> float:
+    """Storage precision of the frozen/base weights in the paper's setup:
+    NF4 (0.5 B/param plus ~1.6% block-scale overhead) for Mixtral, fp16
+    for BlackMamba."""
+    if isinstance(cfg, MixtralConfig):
+        return 0.5
+    return 2.0
+
+
+def model_memory_gb(cfg: ModelConfig) -> float:
+    """Resident weight memory — reproduces Table I's "Mem consump." column."""
+    return param_breakdown(cfg).total_gb(weight_bytes_per_param(cfg))

@@ -1,0 +1,39 @@
+"""Neural-network layer library (substrate S2).
+
+Everything needed to assemble the paper's two model families: attention
+and Mamba token mixers, RMSNorm, top-k routed MoE layers with SwiGLU or
+GELU experts, LoRA/QLoRA adapters, and the causal-LM loss.
+"""
+
+from .attention import CausalSelfAttention
+from .conv import CausalDepthwiseConv1d
+from .embedding import Embedding
+from .experts import GeluExpert, SwiGLUExpert
+from .linear import Linear, LoRALinear, QuantizedLinear
+from .loss import IGNORE_INDEX, cross_entropy, token_accuracy
+from .mamba import MambaMixer
+from .module import Module, ModuleList, Parameter
+from .moe import MoELayer
+from .norm import RMSNorm
+from .router import RoutingDecision, TopKRouter
+
+__all__ = [
+    "CausalDepthwiseConv1d",
+    "CausalSelfAttention",
+    "Embedding",
+    "GeluExpert",
+    "IGNORE_INDEX",
+    "Linear",
+    "LoRALinear",
+    "Module",
+    "ModuleList",
+    "MoELayer",
+    "Parameter",
+    "QuantizedLinear",
+    "RMSNorm",
+    "RoutingDecision",
+    "SwiGLUExpert",
+    "TopKRouter",
+    "cross_entropy",
+    "token_accuracy",
+]

@@ -1,0 +1,84 @@
+"""Causal multi-head self-attention with grouped-query support.
+
+Mixtral uses 32 query heads sharing 8 key/value heads (grouped-query
+attention) plus FlashAttention2 kernels; functionally this module computes
+the same attention — the fused-kernel effect only matters for the GPU
+simulator, which models attention as a single efficient fused kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..tensor import Tensor, ops
+from .linear import Linear
+from .module import Module
+from .rope import apply_rope, rope_angles
+
+_NEG_INF = -1e9
+
+
+class CausalSelfAttention(Module):
+    """Multi-head causal self-attention over ``(batch, length, dim)`` inputs."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        num_kv_heads: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        num_kv_heads = num_kv_heads if num_kv_heads is not None else num_heads
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+        if num_heads % num_kv_heads != 0:
+            raise ValueError(f"num_heads {num_heads} not divisible by num_kv_heads {num_kv_heads}")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.dim = dim
+        self.num_heads = num_heads
+        self.num_kv_heads = num_kv_heads
+        self.head_dim = dim // num_heads
+        self.q_proj = Linear(dim, num_heads * self.head_dim, rng=rng)
+        self.k_proj = Linear(dim, num_kv_heads * self.head_dim, rng=rng)
+        self.v_proj = Linear(dim, num_kv_heads * self.head_dim, rng=rng)
+        self.o_proj = Linear(num_heads * self.head_dim, dim, rng=rng)
+
+    def _split_heads(self, x: Tensor, num_heads: int) -> Tensor:
+        batch, length, _ = x.shape
+        return x.reshape(batch, length, num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _repeat_kv(self, x: Tensor) -> Tensor:
+        """Expand kv heads to match query heads (grouped-query attention)."""
+        group = self.num_heads // self.num_kv_heads
+        if group == 1:
+            return x
+        repeated = [x[:, head : head + 1] for head in range(self.num_kv_heads) for _ in range(group)]
+        return ops.concat(repeated, axis=1)
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, length, _ = x.shape
+        q = self._split_heads(self.q_proj(x), self.num_heads)
+        k = self._repeat_kv(self._split_heads(self.k_proj(x), self.num_kv_heads))
+        v = self._repeat_kv(self._split_heads(self.v_proj(x), self.num_kv_heads))
+
+        cos, sin = rope_angles(length, self.head_dim)
+        q = apply_rope(q, cos, sin)
+        k = apply_rope(k, cos, sin)
+
+        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.head_dim))
+        causal = np.tril(np.ones((length, length), dtype=bool))
+        scores = ops.where(causal, scores, _NEG_INF)
+        weights = scores.softmax(axis=-1)
+        context = weights @ v
+
+        merged = context.transpose(0, 2, 1, 3).reshape(batch, length, self.dim)
+        return self.o_proj(merged)
+
+    def __repr__(self) -> str:
+        return (
+            f"CausalSelfAttention(dim={self.dim}, heads={self.num_heads}, "
+            f"kv_heads={self.num_kv_heads})"
+        )

@@ -1,0 +1,51 @@
+"""Causal depthwise 1-D convolution (the short conv inside Mamba blocks)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..tensor import Tensor, ops
+from .module import Module, Parameter
+
+
+class CausalDepthwiseConv1d(Module):
+    """Per-channel causal convolution over ``(batch, length, channels)``.
+
+    ``y[:, t, c] = sum_j w[c, j] * x[:, t - K + 1 + j, c] + b[c]`` with zero
+    padding on the left, so position ``t`` only sees positions ``<= t``.
+    """
+
+    def __init__(
+        self,
+        channels: int,
+        kernel_size: int = 4,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if kernel_size <= 0:
+            raise ValueError(f"kernel_size must be positive, got {kernel_size}")
+        rng = rng if rng is not None else np.random.default_rng()
+        scale = 1.0 / np.sqrt(kernel_size)
+        self.channels = channels
+        self.kernel_size = kernel_size
+        self.weight = Parameter(rng.uniform(-scale, scale, (channels, kernel_size)))
+        self.bias = Parameter(np.zeros(channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, length, channels = x.shape
+        if channels != self.channels:
+            raise ValueError(f"expected {self.channels} channels, got {channels}")
+        padded = ops.pad(x, [(0, 0), (self.kernel_size - 1, 0), (0, 0)])
+        out = None
+        for j in range(self.kernel_size):
+            tap = padded[:, j : j + length, :] * self.weight[:, j]
+            out = tap if out is None else out + tap
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"CausalDepthwiseConv1d(channels={self.channels}, k={self.kernel_size})"

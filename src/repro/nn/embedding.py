@@ -1,0 +1,38 @@
+"""Token embedding layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..tensor import Tensor, ops
+from .module import Module, Parameter
+
+
+class Embedding(Module):
+    """Lookup table mapping integer token ids to vectors."""
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(rng.standard_normal((num_embeddings, embedding_dim)) * 0.02)
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        ids = np.asarray(ids)
+        if ids.min() < 0 or ids.max() >= self.num_embeddings:
+            raise IndexError(
+                f"token id out of range [0, {self.num_embeddings}): "
+                f"min={ids.min()}, max={ids.max()}"
+            )
+        return ops.embedding(self.weight, ids)
+
+    def __repr__(self) -> str:
+        return f"Embedding(vocab={self.num_embeddings}, dim={self.embedding_dim})"

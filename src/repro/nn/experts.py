@@ -1,0 +1,93 @@
+"""Expert feed-forward networks — the two architectures of the paper's Fig. 7.
+
+* :class:`SwiGLUExpert` (Mixtral): three weight matrices. ``W1`` (gate) and
+  ``W3`` (up) run in parallel, are combined as ``silu(x W1^T) * (x W3^T)``,
+  and ``W2`` projects back down.
+* :class:`GeluExpert` (BlackMamba): two serial matrices with a GELU between,
+  ``W2(gelu(W1 x))``.
+
+Both support dense trainable weights (full fine-tuning) or NF4-quantized
+frozen weights with LoRA adapters (the Mixtral QLoRA configuration).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..tensor import Tensor, ops
+from .linear import Linear, LoRALinear, QuantizedLinear
+from .module import Module
+
+
+def _maybe_adapt(layer: Linear, quantize: bool, lora_rank: int, rng) -> Module:
+    """Optionally convert a dense projection into QLoRA form."""
+    if not quantize and lora_rank <= 0:
+        return layer
+    base: Module = QuantizedLinear.from_linear(layer) if quantize else layer
+    if lora_rank > 0:
+        return LoRALinear(base, rank=lora_rank, rng=rng)
+    base.freeze()
+    return base
+
+
+class SwiGLUExpert(Module):
+    """Mixtral-style expert: ``W2(silu(W1 x) * (W3 x))``."""
+
+    KERNEL_NAMES = ("matmul(w1)", "matmul(w3)", "matmul(w2)")
+
+    def __init__(
+        self,
+        dim: int,
+        hidden_dim: int,
+        quantize: bool = False,
+        lora_rank: int = 0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.dim = dim
+        self.hidden_dim = hidden_dim
+        self.w1 = _maybe_adapt(Linear(dim, hidden_dim, rng=rng), quantize, lora_rank, rng)
+        self.w3 = _maybe_adapt(Linear(dim, hidden_dim, rng=rng), quantize, lora_rank, rng)
+        self.w2 = _maybe_adapt(Linear(hidden_dim, dim, rng=rng), quantize, lora_rank, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        gate = ops.silu(self.w1(x))
+        up = self.w3(x)
+        return self.w2(gate * up)
+
+    @staticmethod
+    def describe() -> str:
+        """Structural summary matching the paper's Fig. 7 (top)."""
+        return "x -> [W1 -> silu] * [W3] -> W2 -> out  (Swish-gated linear unit, 3 matrices)"
+
+
+class GeluExpert(Module):
+    """BlackMamba-style expert: ``W2(gelu(W1 x))``."""
+
+    KERNEL_NAMES = ("matmul(w1)", "gelu", "matmul(w2)")
+
+    def __init__(
+        self,
+        dim: int,
+        hidden_dim: int,
+        quantize: bool = False,
+        lora_rank: int = 0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.dim = dim
+        self.hidden_dim = hidden_dim
+        self.w1 = _maybe_adapt(Linear(dim, hidden_dim, rng=rng), quantize, lora_rank, rng)
+        self.w2 = _maybe_adapt(Linear(hidden_dim, dim, rng=rng), quantize, lora_rank, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.w2(ops.gelu(self.w1(x)))
+
+    @staticmethod
+    def describe() -> str:
+        """Structural summary matching the paper's Fig. 7 (bottom)."""
+        return "x -> W1 -> gelu -> W2 -> out  (standard FFN, 2 serial matrices)"

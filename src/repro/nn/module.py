@@ -1,0 +1,147 @@
+"""Module / Parameter containers for the layer library.
+
+A :class:`Module` automatically registers :class:`Parameter` and child
+``Module`` attributes, exposes recursive iteration over parameters, and a
+train/eval switch — the minimal subset of the familiar torch.nn surface
+needed by the paper's fine-tuning stack.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor that is trainable by default and discoverable by Modules."""
+
+    def __init__(self, data, requires_grad: bool = True, name: str = "") -> None:
+        super().__init__(data, requires_grad=requires_grad, name=name)
+
+
+class Module:
+    """Base class for all layers.
+
+    Subclasses implement :meth:`forward`; calling the module invokes it.
+    Attribute assignment of :class:`Parameter` or ``Module`` instances
+    registers them for recursive traversal.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "training", True)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> Iterator[Parameter]:
+        for _name, param in self.named_parameters():
+            yield param
+
+    def trainable_parameters(self) -> Iterator[Parameter]:
+        for param in self.parameters():
+            if param.requires_grad:
+                yield param
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield (prefix.rstrip("."), self)
+        for name, module in self._modules.items():
+            yield from module.named_modules(prefix=f"{prefix}{name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        for _name, module in self.named_modules():
+            yield module
+
+    # ------------------------------------------------------------------
+    # State management
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        object.__setattr__(self, "training", mode)
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def freeze(self) -> "Module":
+        """Mark every parameter as non-trainable (used before LoRA injection)."""
+        for param in self.parameters():
+            param.requires_grad = False
+        return self
+
+    def num_parameters(self, trainable_only: bool = False) -> int:
+        total = 0
+        for param in self.parameters():
+            if trainable_only and not param.requires_grad:
+                continue
+            total += param.size
+        return total
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(f"state mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
+        for name, param in own.items():
+            if param.shape != state[name].shape:
+                raise ValueError(f"shape mismatch for {name}: {param.shape} vs {state[name].shape}")
+            param.data = state[name].copy()
+
+    # ------------------------------------------------------------------
+    # Call protocol
+    # ------------------------------------------------------------------
+    def forward(self, *args: Any, **kwargs: Any):
+        raise NotImplementedError
+
+    def __call__(self, *args: Any, **kwargs: Any):
+        return self.forward(*args, **kwargs)
+
+
+class ModuleList(Module):
+    """An indexable container of submodules (e.g. decoder blocks, experts)."""
+
+    def __init__(self, modules: Optional[list] = None) -> None:
+        super().__init__()
+        self._items: list = []
+        for module in modules or []:
+            self.append(module)
+
+    def append(self, module: Module) -> None:
+        index = len(self._items)
+        self._items.append(module)
+        self._modules[str(index)] = module
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._items)

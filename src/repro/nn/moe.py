@@ -1,0 +1,116 @@
+"""Mixture-of-Experts layer — an executable version of the paper's Fig. 12.
+
+The pseudocode in the paper:
+
+1. hidden states go to the router, which produces router logits;
+2. logits determine the top-k experts per token;
+3. tokens are grouped and dispatched to their assigned experts;
+4. expert outputs are combined, weighted by the (renormalized) gate
+   probabilities.
+
+Dense fine-tuning sets ``top_k = num_experts`` (all experts active);
+sparse fine-tuning uses ``top_k = 2`` of 8, matching the paper's setup.
+The layer tracks per-expert token counts for the Fig. 11 load-imbalance
+study and exposes a Switch-style auxiliary load-balancing loss used when
+"pre-training" the tiny models into a balanced routing state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..tensor import Tensor, ops
+from ..tensor.grad_mode import is_grad_enabled
+from .module import Module, ModuleList
+from .router import TopKRouter
+
+
+class MoELayer(Module):
+    """Top-k routed mixture of expert FFNs over ``(batch, length, dim)``."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_experts: int,
+        top_k: int,
+        expert_factory: Callable[[], Module],
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.dim = dim
+        self.num_experts = num_experts
+        self.top_k = top_k
+        self.router = TopKRouter(dim, num_experts, top_k, rng=rng)
+        self.experts = ModuleList([expert_factory() for _ in range(num_experts)])
+        # Profiling / characterization hooks.
+        self.last_expert_counts: Optional[np.ndarray] = None
+        self.cumulative_expert_counts = np.zeros(num_experts, dtype=np.int64)
+        self.aux_loss: Optional[Tensor] = None
+        self.track_aux_loss = False
+
+    @property
+    def sparsity(self) -> float:
+        """Fraction of experts active per token (paper's sparsity knob)."""
+        return self.top_k / self.num_experts
+
+    def set_top_k(self, top_k: int) -> None:
+        """Switch between dense (k = E) and sparse (k < E) fine-tuning."""
+        if not 1 <= top_k <= self.num_experts:
+            raise ValueError(f"top_k={top_k} out of range [1, {self.num_experts}]")
+        self.top_k = top_k
+        self.router.top_k = top_k
+
+    def reset_load_statistics(self) -> None:
+        self.last_expert_counts = None
+        self.cumulative_expert_counts = np.zeros(self.num_experts, dtype=np.int64)
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, length, dim = x.shape
+        num_tokens = batch * length
+        flat = x.reshape(num_tokens, dim)
+
+        decision = self.router(flat)
+        # Under gradient checkpointing the block body executes twice (once
+        # recording-free, once during recomputation). Count routing stats on
+        # exactly one of those executions: the grad-enabled one while
+        # training, or any execution in eval mode.
+        if is_grad_enabled() or not self.training:
+            self.last_expert_counts = decision.expert_counts
+            self.cumulative_expert_counts += decision.expert_counts
+        if self.track_aux_loss:
+            self.aux_loss = self._load_balancing_loss(decision)
+
+        combined = None
+        for expert_id, expert in enumerate(self.experts):
+            token_ids = np.nonzero((decision.expert_indices == expert_id).any(axis=-1))[0]
+            if token_ids.size == 0:
+                continue
+            rows = ops.take_rows(flat, token_ids)
+            expert_out = expert(rows)
+            gate = decision.gates_full[token_ids, expert_id].reshape(token_ids.size, 1)
+            contribution = ops.scatter_rows(expert_out * gate, token_ids, num_tokens)
+            combined = contribution if combined is None else combined + contribution
+
+        if combined is None:  # no tokens at all (empty input)
+            combined = flat * 0.0
+        return combined.reshape(batch, length, dim)
+
+    def _load_balancing_loss(self, decision) -> Tensor:
+        """Switch-Transformer auxiliary loss: E * sum_e f_e * P_e.
+
+        ``f_e`` is the fraction of tokens dispatched to expert ``e`` (data)
+        and ``P_e`` the mean router probability (differentiable). Minimized
+        when routing is uniform.
+        """
+        num_tokens = max(1, int(decision.expert_counts.sum() // self.top_k))
+        fractions = decision.expert_counts.astype(np.float64) / (num_tokens * self.top_k)
+        mean_probs = decision.router_probs.mean(axis=0)
+        return (mean_probs * Tensor(fractions)).sum() * float(self.num_experts)
+
+    def __repr__(self) -> str:
+        return (
+            f"MoELayer(dim={self.dim}, experts={self.num_experts}, "
+            f"top_k={self.top_k}, sparsity={self.sparsity:.3f})"
+        )

@@ -1,0 +1,31 @@
+"""Root-mean-square layer normalization.
+
+Both evaluated models use RMSNorm (the paper's Fig. 5 layer categories
+"input normalization" / "post attention norm." for Mixtral and
+"RMS layernorm" for BlackMamba).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor, ops
+from .module import Module, Parameter
+
+
+class RMSNorm(Module):
+    """``y = x / sqrt(mean(x^2) + eps) * weight`` over the last axis."""
+
+    def __init__(self, dim: int, eps: float = 1e-6) -> None:
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.weight = Parameter(np.ones(dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean_square = (x * x).mean(axis=-1, keepdims=True)
+        normalized = x / ops.sqrt(mean_square + self.eps)
+        return normalized * self.weight
+
+    def __repr__(self) -> str:
+        return f"RMSNorm(dim={self.dim}, eps={self.eps})"

@@ -1,0 +1,45 @@
+"""Rotary positional embeddings (RoPE), as used by Mixtral.
+
+RoPE rotates query/key head dimensions pairwise by position-dependent
+angles, encoding *relative* position in the attention dot products. The
+rotation matrices are constants, so autograd flows through plain
+elementwise arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..tensor import Tensor, ops
+
+
+def rope_angles(length: int, head_dim: int, base: float = 10000.0) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(cos, sin)`` tables of shape ``(length, head_dim)``.
+
+    Each half-dimension pair ``(2i, 2i+1)`` rotates with frequency
+    ``base**(-2i/head_dim)``; the tables duplicate the per-pair values so
+    they can be applied with the rotate-half trick.
+    """
+    if head_dim % 2 != 0:
+        raise ValueError(f"head_dim must be even for RoPE, got {head_dim}")
+    inv_freq = base ** (-np.arange(0, head_dim, 2, dtype=np.float64) / head_dim)
+    positions = np.arange(length, dtype=np.float64)
+    angles = np.outer(positions, inv_freq)  # (length, head_dim/2)
+    doubled = np.concatenate([angles, angles], axis=-1)
+    return np.cos(doubled), np.sin(doubled)
+
+
+def _rotate_half(x: Tensor) -> Tensor:
+    half = x.shape[-1] // 2
+    first = x[..., :half]
+    second = x[..., half:]
+    return ops.concat([-second, first], axis=-1)
+
+
+def apply_rope(x: Tensor, cos: np.ndarray, sin: np.ndarray) -> Tensor:
+    """Rotate ``(batch, heads, length, head_dim)`` by the angle tables."""
+    cos_t = Tensor(cos)  # broadcast over batch and heads
+    sin_t = Tensor(sin)
+    return x * cos_t + _rotate_half(x) * sin_t

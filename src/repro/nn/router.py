@@ -1,0 +1,91 @@
+"""Top-k gating router for Mixture-of-Experts layers.
+
+Implements the routing step of the paper's Fig. 12 pseudocode: a linear
+router produces per-expert logits for every token; the top-k experts are
+selected; the selected logits are renormalized with a softmax to produce
+gate weights. Routing decisions (which experts) are data — only the gate
+*weights* carry gradients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..tensor import Tensor
+from .linear import Linear
+from .module import Module
+
+
+@dataclass
+class RoutingDecision:
+    """Routing output for one batch of flattened tokens.
+
+    Attributes
+    ----------
+    expert_indices:
+        ``(tokens, k)`` int array of chosen expert ids per token.
+    gates_full:
+        ``(tokens, num_experts)`` tensor of gate weights, zero for experts
+        that were not selected; rows sum to one. Differentiable.
+    router_probs:
+        ``(tokens, num_experts)`` full softmax over router logits
+        (differentiable; used by the load-balancing auxiliary loss).
+    expert_counts:
+        ``(num_experts,)`` int array: tokens routed to each expert — the
+        raw data behind the paper's Fig. 11 load-imbalance study.
+    """
+
+    expert_indices: np.ndarray
+    gates_full: Tensor
+    router_probs: Tensor
+    expert_counts: np.ndarray
+
+
+class TopKRouter(Module):
+    """Linear router with top-k selection and renormalized softmax gates."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_experts: int,
+        top_k: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if not 1 <= top_k <= num_experts:
+            raise ValueError(f"top_k={top_k} must be in [1, {num_experts}]")
+        self.dim = dim
+        self.num_experts = num_experts
+        self.top_k = top_k
+        self.gate = Linear(dim, num_experts, rng=rng)
+
+    def forward(self, flat_tokens: Tensor) -> RoutingDecision:
+        """Route ``(tokens, dim)`` hidden states to ``top_k`` experts each."""
+        logits = self.gate(flat_tokens)  # (tokens, num_experts)
+        num_tokens = logits.shape[0]
+
+        # Expert choice is a data-level decision (no gradient through argmax).
+        raw = logits.data
+        expert_indices = np.argpartition(-raw, self.top_k - 1, axis=-1)[:, : self.top_k]
+
+        # Gate weights: softmax over the selected logits only, implemented as
+        # a masked renormalized softmax so gradients flow to the router.
+        selected = np.zeros_like(raw, dtype=bool)
+        np.put_along_axis(selected, expert_indices, True, axis=-1)
+        probs = logits.softmax(axis=-1)
+        masked = probs * Tensor(selected.astype(raw.dtype))
+        gates_full = masked / masked.sum(axis=-1, keepdims=True)
+
+        counts = np.bincount(expert_indices.reshape(-1), minlength=self.num_experts)
+        return RoutingDecision(
+            expert_indices=expert_indices,
+            gates_full=gates_full,
+            router_probs=probs,
+            expert_counts=counts,
+        )
+
+    def __repr__(self) -> str:
+        return f"TopKRouter(dim={self.dim}, experts={self.num_experts}, k={self.top_k})"

@@ -1,0 +1,63 @@
+"""AdamW — the fine-tuning optimizer used throughout the paper's study.
+
+Keeps two fp32 moment buffers per trainable parameter; this 8-bytes/param
+state is what the memory estimator charges for the optimizer, and the
+elementwise update sweep is what the GPU simulator models as the
+"optimizer" stage of Fig. 4.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
+
+from ..nn.module import Parameter
+from .optimizer import Optimizer
+
+
+class AdamW(Optimizer):
+    """Decoupled weight decay Adam (Loshchilov & Hutter, 2019)."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 5e-5,
+        betas: Tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        beta1, beta2 = betas
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._moment1: Dict[int, np.ndarray] = {}
+        self._moment2: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        self.step_count += 1
+        bias1 = 1.0 - self.beta1**self.step_count
+        bias2 = 1.0 - self.beta2**self.step_count
+        for param in self.params:
+            if param.grad is None:
+                continue
+            grad = param.grad
+            m = self._moment1.get(id(param))
+            v = self._moment2.get(id(param))
+            m = (1 - self.beta1) * grad if m is None else self.beta1 * m + (1 - self.beta1) * grad
+            v = (1 - self.beta2) * grad**2 if v is None else self.beta2 * v + (1 - self.beta2) * grad**2
+            self._moment1[id(param)] = m
+            self._moment2[id(param)] = v
+            m_hat = m / bias1
+            v_hat = v / bias2
+            if self.weight_decay > 0.0:
+                param.data = param.data * (1.0 - self.lr * self.weight_decay)
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_bytes(self) -> int:
+        """Optimizer memory footprint (two fp32 moments per parameter)."""
+        return sum(2 * 4 * p.size for p in self.params)

@@ -1,0 +1,36 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..nn.module import Parameter
+
+
+class Optimizer:
+    """Holds a parameter list and a learning rate; subclasses apply updates.
+
+    Only parameters with ``requires_grad=True`` are updated — under QLoRA
+    this reduces the optimizer's working set to the LoRA adapters, which is
+    exactly why the paper's Fig. 4 shows a negligible optimizer stage for
+    Mixtral versus up to 53% of step time for fully-fine-tuned BlackMamba.
+    """
+
+    def __init__(self, params: Iterable[Parameter], lr: float) -> None:
+        self.params: List[Parameter] = [p for p in params if p.requires_grad]
+        if not self.params:
+            raise ValueError("optimizer received no trainable parameters")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+        self.step_count = 0
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def num_optimized_parameters(self) -> int:
+        return sum(p.size for p in self.params)

@@ -1,0 +1,52 @@
+"""Learning-rate schedules."""
+
+from __future__ import annotations
+
+import math
+
+from .optimizer import Optimizer
+
+
+class LRScheduler:
+    """Base class: subclasses compute the lr for a given step."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.current_step = 0
+
+    def lr_at(self, step: int) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        self.current_step += 1
+        new_lr = self.lr_at(self.current_step)
+        self.optimizer.lr = new_lr
+        return new_lr
+
+
+class ConstantLR(LRScheduler):
+    """The paper fine-tunes with a constant 5e-5 learning rate."""
+
+    def lr_at(self, step: int) -> float:
+        return self.base_lr
+
+
+class WarmupCosineLR(LRScheduler):
+    """Linear warmup followed by cosine decay to ``min_lr``."""
+
+    def __init__(self, optimizer: Optimizer, warmup_steps: int, total_steps: int, min_lr: float = 0.0) -> None:
+        super().__init__(optimizer)
+        if total_steps <= warmup_steps:
+            raise ValueError("total_steps must exceed warmup_steps")
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+        self.min_lr = min_lr
+
+    def lr_at(self, step: int) -> float:
+        if step < self.warmup_steps:
+            return self.base_lr * step / max(1, self.warmup_steps)
+        progress = (step - self.warmup_steps) / (self.total_steps - self.warmup_steps)
+        progress = min(1.0, progress)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine

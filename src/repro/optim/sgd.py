@@ -1,0 +1,34 @@
+"""Stochastic gradient descent with optional momentum."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+import numpy as np
+
+from ..nn.module import Parameter
+from .optimizer import Optimizer
+
+
+class SGD(Optimizer):
+    """Classic SGD: ``p -= lr * (grad + momentum buffer)``."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float, momentum: float = 0.0) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        self.step_count += 1
+        for param in self.params:
+            if param.grad is None:
+                continue
+            update = param.grad
+            if self.momentum > 0.0:
+                buf = self._velocity.get(id(param))
+                buf = update if buf is None else self.momentum * buf + update
+                self._velocity[id(param)] = buf
+                update = buf
+            param.data = param.data - self.lr * update

@@ -1,0 +1,12 @@
+"""Profiling substrate (S10): Nsight-style reports + wall-clock stage timers."""
+
+from .report import ProfileReport, compare_traces
+from .wallclock import StageTimings, measure_throughput, profile_training_stages
+
+__all__ = [
+    "ProfileReport",
+    "StageTimings",
+    "compare_traces",
+    "measure_throughput",
+    "profile_training_stages",
+]

@@ -1,0 +1,89 @@
+"""Nsight-style textual reports over simulated step traces.
+
+The paper's hardware evaluation presents three views of one profiled
+step: stage breakdown (Fig. 4), layer breakdown (Fig. 5) and kernel-level
+tables with SM/DRAM utilization (Figs. 6, 9, 10). :class:`ProfileReport`
+renders all three from a :class:`~repro.gpu.trace.StepTrace` so examples
+and benchmarks can print paper-comparable tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..gpu.trace import StepTrace
+
+
+def _bar(fraction: float, width: int = 28) -> str:
+    filled = int(round(max(0.0, min(1.0, fraction)) * width))
+    return "#" * filled + "." * (width - filled)
+
+
+@dataclass
+class ProfileReport:
+    """Formatted views over one simulated fine-tuning step."""
+
+    trace: StepTrace
+
+    def stage_table(self) -> str:
+        """Fig. 4-style forward/backward/optimizer breakdown."""
+        stages = self.trace.stage_seconds()
+        total = sum(stages.values())
+        lines = [f"Stage breakdown ({self.trace.label}, total {total:.3f}s):"]
+        for stage in ("forward", "backward", "optimizer"):
+            seconds = stages.get(stage, 0.0)
+            share = seconds / total if total else 0.0
+            lines.append(f"  {stage:<10} {seconds:8.3f}s  {100 * share:5.1f}%  {_bar(share)}")
+        return "\n".join(lines)
+
+    def layer_table(self) -> str:
+        """Fig. 5-style per-layer-category breakdown."""
+        layers = self.trace.layer_seconds()
+        layers.pop("optimizer", None)
+        total = sum(layers.values())
+        lines = [f"Layer breakdown ({self.trace.label}, compute total {total:.3f}s):"]
+        for name, seconds in sorted(layers.items(), key=lambda kv: -kv[1]):
+            share = seconds / total if total else 0.0
+            lines.append(f"  {name:<12} {seconds:8.3f}s  {100 * share:5.1f}%  {_bar(share)}")
+        return "\n".join(lines)
+
+    def kernel_table(self, layer: Optional[str] = "moe") -> str:
+        """Fig. 6-style kernel breakdown (per-layer microseconds)."""
+        per_kernel = self.trace.kernel_seconds_by_name(layer=layer)
+        sm = self.trace.sm_utilization_by_kernel(layer=layer)
+        dram = self.trace.dram_utilization_by_kernel(layer=layer)
+        total = sum(per_kernel.values())
+        header = f"{'kernel':<18} {'us/layer':>10} {'share':>7} {'SM%':>6} {'DRAM%':>7}"
+        lines = [f"Kernel breakdown, layer={layer!r} ({self.trace.label}):", header]
+        for name, seconds in sorted(per_kernel.items(), key=lambda kv: -kv[1]):
+            share = seconds / total if total else 0.0
+            lines.append(
+                f"{name:<18} {seconds * 1e6:10.0f} {100 * share:6.1f}% "
+                f"{sm.get(name, 0.0):5.0f} {dram.get(name, 0.0):6.0f}"
+            )
+        lines.append(
+            f"{'time_weighted':<18} {total * 1e6:10.0f} {'100.0%':>7} "
+            f"{self.trace.time_weighted_sm(layer):5.0f} {self.trace.time_weighted_dram(layer):6.0f}"
+        )
+        return "\n".join(lines)
+
+    def full_report(self) -> str:
+        return "\n\n".join(
+            [
+                self.trace.summary(),
+                self.stage_table(),
+                self.layer_table(),
+                self.kernel_table("moe"),
+            ]
+        )
+
+
+def compare_traces(traces: List[StepTrace], metric: str = "queries_per_second") -> str:
+    """Side-by-side one-metric comparison (e.g. the Fig. 8 bar groups)."""
+    lines = [f"{'configuration':<40} {metric:>18}"]
+    for trace in traces:
+        value = getattr(trace, metric)
+        value = value() if callable(value) else value
+        lines.append(f"{trace.label:<40} {value:18.3f}")
+    return "\n".join(lines)

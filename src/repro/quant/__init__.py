@@ -1,0 +1,17 @@
+"""NF4 blockwise quantization substrate (S4) — the QLoRA weight format."""
+
+from .nf4 import (
+    DEFAULT_BLOCK_SIZE,
+    NF4_CODEBOOK,
+    QuantizedTensor,
+    quantization_error,
+    quantize,
+)
+
+__all__ = [
+    "DEFAULT_BLOCK_SIZE",
+    "NF4_CODEBOOK",
+    "QuantizedTensor",
+    "quantization_error",
+    "quantize",
+]

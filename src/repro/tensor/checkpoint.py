@@ -1,0 +1,72 @@
+"""Gradient checkpointing (activation recomputation).
+
+The paper fine-tunes Mixtral with gradient checkpointing enabled: forward
+activations inside a block are *not* stored; the backward pass re-runs the
+block's forward to rebuild them, trading extra compute for memory. This is
+both a feature of the training substrate and an input to the memory model
+(checkpointed activations do not count against GPU memory) and the GPU
+simulator (the backward stage pays a recomputation term).
+
+Implementation notes: the checkpointed callable is executed under
+``no_grad`` on the way forward, so no graph is recorded. On the way back
+we re-execute it with gradients enabled on detached inputs, backpropagate
+the incoming gradient through the local graph, and hand input gradients
+back to the outer engine. Gradients of parameters *inside* the callable
+accumulate directly onto the parameter tensors, exactly as they would in a
+non-checkpointed run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+from .core import Function, Tensor
+from .grad_mode import enable_grad, is_grad_enabled, no_grad
+
+
+class _CheckpointFunction(Function):
+    """Graph node whose backward recomputes the wrapped callable."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.fn: Callable[..., Tensor] = None  # type: ignore[assignment]
+        self.inputs: Tuple[Tensor, ...] = ()
+
+    def backward(self, grad_out: np.ndarray):
+        detached = []
+        for original in self.inputs:
+            copy = original.detach()
+            copy.requires_grad = original.requires_grad
+            detached.append(copy)
+        with enable_grad():
+            out = self.fn(*detached)
+            if not isinstance(out, Tensor):
+                raise TypeError("checkpointed function must return a single Tensor")
+            if out.requires_grad:
+                out.backward(grad_out)
+        return tuple(d.grad if d.requires_grad else None for d in detached)
+
+
+def checkpoint(fn: Callable[..., Tensor], *inputs: Tensor) -> Tensor:
+    """Run ``fn(*inputs)`` without storing intermediate activations.
+
+    Returns the same value as ``fn(*inputs)``; during backward the
+    function is re-executed to reconstruct the activations. ``fn`` must be
+    deterministic (re-execution must match the original forward) and must
+    return a single tensor.
+    """
+    if not is_grad_enabled():
+        return fn(*inputs)
+    with no_grad():
+        out_value = fn(*inputs)
+    if not isinstance(out_value, Tensor):
+        raise TypeError("checkpointed function must return a single Tensor")
+    out = Tensor(out_value.data, requires_grad=True)
+    ctx = _CheckpointFunction()
+    ctx.fn = fn
+    ctx.inputs = tuple(inputs)
+    ctx.parents = tuple(t for t in inputs if isinstance(t, Tensor))
+    out._ctx = ctx
+    return out

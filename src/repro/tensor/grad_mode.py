@@ -1,0 +1,50 @@
+"""Global gradient-recording mode, mirroring ``torch.no_grad`` semantics.
+
+The autograd engine consults :func:`is_grad_enabled` when deciding whether
+to attach a backward graph to the result of an operation. Disabling
+gradients inside evaluation and data-statistics code keeps memory flat and
+is also what the gradient-checkpointing implementation uses to run a
+"recording-free" forward pass.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Return True when operations should record a backward graph."""
+    return _GRAD_ENABLED
+
+
+def set_grad_enabled(enabled: bool) -> None:
+    """Globally enable or disable gradient recording."""
+    global _GRAD_ENABLED
+    _GRAD_ENABLED = bool(enabled)
+
+
+@contextmanager
+def no_grad() -> Iterator[None]:
+    """Context manager that disables gradient recording within its body."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+@contextmanager
+def enable_grad() -> Iterator[None]:
+    """Context manager that re-enables gradient recording within its body."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = True
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous

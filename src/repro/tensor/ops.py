@@ -1,0 +1,665 @@
+"""Differentiable operations for the autograd engine.
+
+Every public function here takes and returns :class:`~repro.tensor.core.Tensor`
+objects. Operand coercion happens in the thin functional wrappers so that the
+:class:`Function` subclasses can assume every differentiable operand is a
+tensor; constants become non-grad tensors, and integer index arrays stay raw
+numpy (they are data, not differentiable inputs).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .core import Function, Tensor, unbroadcast
+
+Axis = Optional[Union[int, Tuple[int, ...]]]
+
+
+def _as_tensor(value: Any) -> Tensor:
+    return value if isinstance(value, Tensor) else Tensor(np.asarray(value, dtype=float))
+
+
+def _as_index(value: Any) -> np.ndarray:
+    data = value.data if isinstance(value, Tensor) else value
+    return np.asarray(data)
+
+
+# ---------------------------------------------------------------------------
+# Pointwise binary arithmetic
+# ---------------------------------------------------------------------------
+
+
+class Add(Function):
+    def forward(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        self.save_for_backward(a.shape, b.shape)
+        return a + b
+
+    def backward(self, grad_out: np.ndarray):
+        a_shape, b_shape = self.saved
+        return unbroadcast(grad_out, a_shape), unbroadcast(grad_out, b_shape)
+
+
+class Sub(Function):
+    def forward(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        self.save_for_backward(a.shape, b.shape)
+        return a - b
+
+    def backward(self, grad_out: np.ndarray):
+        a_shape, b_shape = self.saved
+        return unbroadcast(grad_out, a_shape), unbroadcast(-grad_out, b_shape)
+
+
+class Mul(Function):
+    def forward(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        self.save_for_backward(a, b)
+        return a * b
+
+    def backward(self, grad_out: np.ndarray):
+        a, b = self.saved
+        return unbroadcast(grad_out * b, a.shape), unbroadcast(grad_out * a, b.shape)
+
+
+class Div(Function):
+    def forward(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        self.save_for_backward(a, b)
+        return a / b
+
+    def backward(self, grad_out: np.ndarray):
+        a, b = self.saved
+        grad_a = unbroadcast(grad_out / b, a.shape)
+        grad_b = unbroadcast(-grad_out * a / (b * b), b.shape)
+        return grad_a, grad_b
+
+
+class Neg(Function):
+    def forward(self, a: np.ndarray) -> np.ndarray:
+        return -a
+
+    def backward(self, grad_out: np.ndarray):
+        return (-grad_out,)
+
+
+class Pow(Function):
+    def forward(self, a: np.ndarray, exponent: float) -> np.ndarray:
+        self.save_for_backward(a, exponent)
+        return a**exponent
+
+    def backward(self, grad_out: np.ndarray):
+        a, exponent = self.saved
+        return (grad_out * exponent * a ** (exponent - 1),)
+
+
+class MatMul(Function):
+    """Batched matrix multiply over the trailing two axes."""
+
+    def forward(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        if a.ndim < 2 or b.ndim < 2:
+            raise ValueError("matmul requires operands with at least 2 dimensions")
+        self.save_for_backward(a, b)
+        return a @ b
+
+    def backward(self, grad_out: np.ndarray):
+        a, b = self.saved
+        grad_a = unbroadcast(grad_out @ np.swapaxes(b, -1, -2), a.shape)
+        grad_b = unbroadcast(np.swapaxes(a, -1, -2) @ grad_out, b.shape)
+        return grad_a, grad_b
+
+
+# ---------------------------------------------------------------------------
+# Pointwise unary functions
+# ---------------------------------------------------------------------------
+
+
+class Identity(Function):
+    def forward(self, a: np.ndarray) -> np.ndarray:
+        return a.copy()
+
+    def backward(self, grad_out: np.ndarray):
+        return (grad_out,)
+
+
+class Exp(Function):
+    def forward(self, a: np.ndarray) -> np.ndarray:
+        out = np.exp(a)
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, grad_out: np.ndarray):
+        (out,) = self.saved
+        return (grad_out * out,)
+
+
+class Log(Function):
+    def forward(self, a: np.ndarray) -> np.ndarray:
+        self.save_for_backward(a)
+        return np.log(a)
+
+    def backward(self, grad_out: np.ndarray):
+        (a,) = self.saved
+        return (grad_out / a,)
+
+
+class Sqrt(Function):
+    def forward(self, a: np.ndarray) -> np.ndarray:
+        out = np.sqrt(a)
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, grad_out: np.ndarray):
+        (out,) = self.saved
+        return (grad_out / (2.0 * out),)
+
+
+class Tanh(Function):
+    def forward(self, a: np.ndarray) -> np.ndarray:
+        out = np.tanh(a)
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, grad_out: np.ndarray):
+        (out,) = self.saved
+        return (grad_out * (1.0 - out * out),)
+
+
+class Sigmoid(Function):
+    def forward(self, a: np.ndarray) -> np.ndarray:
+        out = 1.0 / (1.0 + np.exp(-a))
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, grad_out: np.ndarray):
+        (out,) = self.saved
+        return (grad_out * out * (1.0 - out),)
+
+
+class Relu(Function):
+    def forward(self, a: np.ndarray) -> np.ndarray:
+        self.save_for_backward(a > 0)
+        return np.maximum(a, 0.0)
+
+    def backward(self, grad_out: np.ndarray):
+        (mask,) = self.saved
+        return (grad_out * mask,)
+
+
+class Abs(Function):
+    def forward(self, a: np.ndarray) -> np.ndarray:
+        self.save_for_backward(np.sign(a))
+        return np.abs(a)
+
+    def backward(self, grad_out: np.ndarray):
+        (sign,) = self.saved
+        return (grad_out * sign,)
+
+
+_GELU_C = np.sqrt(2.0 / np.pi)
+
+
+class Gelu(Function):
+    """GELU with the tanh approximation (matches common GPU kernels)."""
+
+    def forward(self, a: np.ndarray) -> np.ndarray:
+        inner = _GELU_C * (a + 0.044715 * a**3)
+        t = np.tanh(inner)
+        self.save_for_backward(a, t)
+        return 0.5 * a * (1.0 + t)
+
+    def backward(self, grad_out: np.ndarray):
+        a, t = self.saved
+        d_inner = _GELU_C * (1.0 + 3 * 0.044715 * a**2)
+        grad = 0.5 * (1.0 + t) + 0.5 * a * (1.0 - t * t) * d_inner
+        return (grad_out * grad,)
+
+
+class Silu(Function):
+    """SiLU / Swish: the activation inside Mixtral's SwiGLU experts."""
+
+    def forward(self, a: np.ndarray) -> np.ndarray:
+        sig = 1.0 / (1.0 + np.exp(-a))
+        self.save_for_backward(a, sig)
+        return a * sig
+
+    def backward(self, grad_out: np.ndarray):
+        a, sig = self.saved
+        return (grad_out * (sig + a * sig * (1.0 - sig)),)
+
+
+class Softplus(Function):
+    def forward(self, a: np.ndarray) -> np.ndarray:
+        self.save_for_backward(a)
+        return np.logaddexp(0.0, a)
+
+    def backward(self, grad_out: np.ndarray):
+        (a,) = self.saved
+        return (grad_out / (1.0 + np.exp(-a)),)
+
+
+# ---------------------------------------------------------------------------
+# Normalizing / reducing operations
+# ---------------------------------------------------------------------------
+
+
+class Softmax(Function):
+    def forward(self, a: np.ndarray, axis: int = -1) -> np.ndarray:
+        shifted = a - a.max(axis=axis, keepdims=True)
+        e = np.exp(shifted)
+        out = e / e.sum(axis=axis, keepdims=True)
+        self.save_for_backward(out, axis)
+        return out
+
+    def backward(self, grad_out: np.ndarray):
+        out, axis = self.saved
+        inner = (grad_out * out).sum(axis=axis, keepdims=True)
+        return (out * (grad_out - inner),)
+
+
+class LogSoftmax(Function):
+    def forward(self, a: np.ndarray, axis: int = -1) -> np.ndarray:
+        shifted = a - a.max(axis=axis, keepdims=True)
+        log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        out = shifted - log_z
+        self.save_for_backward(np.exp(out), axis)
+        return out
+
+    def backward(self, grad_out: np.ndarray):
+        softmax_out, axis = self.saved
+        return (grad_out - softmax_out * grad_out.sum(axis=axis, keepdims=True),)
+
+
+class Sum(Function):
+    def forward(self, a: np.ndarray, axis: Axis = None, keepdims: bool = False) -> np.ndarray:
+        self.save_for_backward(a.shape, axis, keepdims)
+        return a.sum(axis=axis, keepdims=keepdims)
+
+    def backward(self, grad_out: np.ndarray):
+        shape, axis, keepdims = self.saved
+        grad = np.asarray(grad_out)
+        if axis is not None and not keepdims:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            for ax in sorted(a % len(shape) for a in axes):
+                grad = np.expand_dims(grad, ax)
+        return (np.broadcast_to(grad, shape).copy(),)
+
+
+class Mean(Function):
+    def forward(self, a: np.ndarray, axis: Axis = None, keepdims: bool = False) -> np.ndarray:
+        self.save_for_backward(a.shape, axis, keepdims)
+        return a.mean(axis=axis, keepdims=keepdims)
+
+    def backward(self, grad_out: np.ndarray):
+        shape, axis, keepdims = self.saved
+        if axis is None:
+            count = int(np.prod(shape))
+            axes: Tuple[int, ...] = tuple(range(len(shape)))
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            axes = tuple(a % len(shape) for a in axes)
+            count = int(np.prod([shape[a] for a in axes]))
+        grad = np.asarray(grad_out)
+        if not keepdims:
+            for ax in sorted(axes):
+                grad = np.expand_dims(grad, ax)
+        return (np.broadcast_to(grad, shape).copy() / count,)
+
+
+class Max(Function):
+    def forward(self, a: np.ndarray, axis: Optional[int] = None, keepdims: bool = False) -> np.ndarray:
+        out = a.max(axis=axis, keepdims=True) if axis is not None else a.max()
+        mask = a == (out if axis is not None else out)
+        counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+        self.save_for_backward(mask, counts, a.shape, axis, keepdims)
+        if axis is not None and not keepdims:
+            out = np.squeeze(out, axis=axis)
+        return np.asarray(out)
+
+    def backward(self, grad_out: np.ndarray):
+        mask, counts, shape, axis, keepdims = self.saved
+        grad = np.asarray(grad_out)
+        if axis is not None and not keepdims:
+            grad = np.expand_dims(grad, axis)
+        return (mask * grad / counts,)
+
+
+# ---------------------------------------------------------------------------
+# Shape manipulation
+# ---------------------------------------------------------------------------
+
+
+class Reshape(Function):
+    def forward(self, a: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+        self.save_for_backward(a.shape)
+        return a.reshape(shape)
+
+    def backward(self, grad_out: np.ndarray):
+        (shape,) = self.saved
+        return (grad_out.reshape(shape),)
+
+
+class Transpose(Function):
+    def forward(self, a: np.ndarray, axes: Optional[Tuple[int, ...]] = None) -> np.ndarray:
+        if axes is None:
+            axes = tuple(reversed(range(a.ndim)))
+        self.save_for_backward(axes)
+        return np.transpose(a, axes)
+
+    def backward(self, grad_out: np.ndarray):
+        (axes,) = self.saved
+        inverse = np.argsort(axes)
+        return (np.transpose(grad_out, inverse),)
+
+
+class GetItem(Function):
+    def forward(self, a: np.ndarray, index: Any) -> np.ndarray:
+        self.save_for_backward(a.shape, a.dtype, index)
+        return a[index]
+
+    def backward(self, grad_out: np.ndarray):
+        shape, dtype, index = self.saved
+        grad = np.zeros(shape, dtype=dtype)
+        np.add.at(grad, index, grad_out)
+        return (grad,)
+
+
+class Pad(Function):
+    """Constant (zero) padding, used by the causal depthwise convolution."""
+
+    def forward(self, a: np.ndarray, pad_width: Tuple[Tuple[int, int], ...]) -> np.ndarray:
+        self.save_for_backward(pad_width, a.shape)
+        return np.pad(a, pad_width)
+
+    def backward(self, grad_out: np.ndarray):
+        pad_width, shape = self.saved
+        slices = tuple(slice(lo, lo + dim) for (lo, _hi), dim in zip(pad_width, shape))
+        return (grad_out[slices],)
+
+
+class Concat(Function):
+    def forward(self, *arrays: np.ndarray, axis: int = 0) -> np.ndarray:
+        self.save_for_backward(axis, [a.shape[axis] for a in arrays])
+        return np.concatenate(arrays, axis=axis)
+
+    def backward(self, grad_out: np.ndarray):
+        axis, sizes = self.saved
+        grads = []
+        start = 0
+        for size in sizes:
+            index = [slice(None)] * grad_out.ndim
+            index[axis] = slice(start, start + size)
+            grads.append(grad_out[tuple(index)])
+            start += size
+        return tuple(grads)
+
+
+# ---------------------------------------------------------------------------
+# Gather / scatter — the primitives behind embeddings and MoE routing
+# ---------------------------------------------------------------------------
+
+
+class Embedding(Function):
+    """Row gather ``weight[ids]`` with scatter-add backward."""
+
+    def forward(self, weight: np.ndarray, ids: np.ndarray) -> np.ndarray:
+        self.save_for_backward(weight.shape, weight.dtype, ids)
+        return weight[ids]
+
+    def backward(self, grad_out: np.ndarray):
+        shape, dtype, ids = self.saved
+        grad = np.zeros(shape, dtype=dtype)
+        flat_ids = ids.reshape(-1)
+        np.add.at(grad, flat_ids, grad_out.reshape(flat_ids.shape[0], shape[-1]))
+        return (grad,)
+
+
+class TakeRows(Function):
+    """Select rows of a 2-D tensor — dispatching tokens to an expert."""
+
+    def forward(self, a: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        self.save_for_backward(a.shape, a.dtype, idx)
+        return a[idx]
+
+    def backward(self, grad_out: np.ndarray):
+        shape, dtype, idx = self.saved
+        grad = np.zeros(shape, dtype=dtype)
+        np.add.at(grad, idx, grad_out)
+        return (grad,)
+
+
+class ScatterRows(Function):
+    """Accumulate rows into a fresh zero tensor — combining expert outputs."""
+
+    def forward(self, src: np.ndarray, idx: np.ndarray, num_rows: int) -> np.ndarray:
+        self.save_for_backward(idx)
+        out = np.zeros((num_rows,) + src.shape[1:], dtype=src.dtype)
+        np.add.at(out, idx, src)
+        return out
+
+    def backward(self, grad_out: np.ndarray):
+        (idx,) = self.saved
+        return (grad_out[idx],)
+
+
+class Where(Function):
+    def forward(self, a: np.ndarray, b: np.ndarray, condition: np.ndarray) -> np.ndarray:
+        self.save_for_backward(condition, a.shape, b.shape)
+        return np.where(condition, a, b)
+
+    def backward(self, grad_out: np.ndarray):
+        condition, a_shape, b_shape = self.saved
+        grad_a = unbroadcast(np.where(condition, grad_out, 0.0), a_shape)
+        grad_b = unbroadcast(np.where(condition, 0.0, grad_out), b_shape)
+        return grad_a, grad_b
+
+
+class Dropout(Function):
+    def forward(self, a: np.ndarray, mask: np.ndarray, scale: float) -> np.ndarray:
+        self.save_for_backward(mask, scale)
+        return a * mask * scale
+
+    def backward(self, grad_out: np.ndarray):
+        mask, scale = self.saved
+        return (grad_out * mask * scale,)
+
+
+# ---------------------------------------------------------------------------
+# Selective scan — the state-space recurrence inside the Mamba mixer
+# ---------------------------------------------------------------------------
+
+
+class ScanDiag(Function):
+    """Diagonal linear recurrence ``h_t = decay_t * h_{t-1} + x_t``.
+
+    Inputs have shape ``(batch, length, channels)`` where ``channels`` may
+    be a flattened (model_dim x state_dim) axis — the recurrence is fully
+    elementwise across channels. Returns the stacked hidden states.
+
+    The backward pass runs the adjoint recurrence in reverse time:
+    ``a_t = g_t + decay_{t+1} * a_{t+1}``, with ``dX_t = a_t`` and
+    ``dDecay_t = a_t * h_{t-1}``.
+    """
+
+    def forward(self, decay: np.ndarray, x: np.ndarray) -> np.ndarray:
+        if decay.shape != x.shape:
+            raise ValueError(f"decay shape {decay.shape} != input shape {x.shape}")
+        batch, length, channels = x.shape
+        h = np.zeros((batch, length, channels), dtype=x.dtype)
+        state = np.zeros((batch, channels), dtype=x.dtype)
+        for t in range(length):
+            state = decay[:, t] * state + x[:, t]
+            h[:, t] = state
+        self.save_for_backward(decay, h)
+        return h
+
+    def backward(self, grad_out: np.ndarray):
+        decay, h = self.saved
+        batch, length, channels = h.shape
+        grad_x = np.zeros_like(h)
+        grad_decay = np.zeros_like(decay)
+        adjoint = np.zeros((batch, channels), dtype=h.dtype)
+        for t in range(length - 1, -1, -1):
+            adjoint = grad_out[:, t] + adjoint
+            grad_x[:, t] = adjoint
+            previous = h[:, t - 1] if t > 0 else np.zeros((batch, channels), dtype=h.dtype)
+            grad_decay[:, t] = adjoint * previous
+            adjoint = adjoint * decay[:, t]
+        return grad_decay, grad_x
+
+
+# ---------------------------------------------------------------------------
+# Functional wrappers
+# ---------------------------------------------------------------------------
+
+
+def identity(a: Tensor) -> Tensor:
+    return Identity.apply(_as_tensor(a))
+
+
+def add(a, b) -> Tensor:
+    return Add.apply(_as_tensor(a), _as_tensor(b))
+
+
+def sub(a, b) -> Tensor:
+    return Sub.apply(_as_tensor(a), _as_tensor(b))
+
+
+def mul(a, b) -> Tensor:
+    return Mul.apply(_as_tensor(a), _as_tensor(b))
+
+
+def div(a, b) -> Tensor:
+    return Div.apply(_as_tensor(a), _as_tensor(b))
+
+
+def neg(a) -> Tensor:
+    return Neg.apply(_as_tensor(a))
+
+
+def pow(a, exponent: float) -> Tensor:  # noqa: A001 - mirrors numpy naming
+    return Pow.apply(_as_tensor(a), float(exponent))
+
+
+def matmul(a, b) -> Tensor:
+    return MatMul.apply(_as_tensor(a), _as_tensor(b))
+
+
+def exp(a) -> Tensor:
+    return Exp.apply(_as_tensor(a))
+
+
+def log(a) -> Tensor:
+    return Log.apply(_as_tensor(a))
+
+
+def sqrt(a) -> Tensor:
+    return Sqrt.apply(_as_tensor(a))
+
+
+def tanh(a) -> Tensor:
+    return Tanh.apply(_as_tensor(a))
+
+
+def sigmoid(a) -> Tensor:
+    return Sigmoid.apply(_as_tensor(a))
+
+
+def relu(a) -> Tensor:
+    return Relu.apply(_as_tensor(a))
+
+
+def abs(a) -> Tensor:  # noqa: A001 - mirrors numpy naming
+    return Abs.apply(_as_tensor(a))
+
+
+def gelu(a) -> Tensor:
+    return Gelu.apply(_as_tensor(a))
+
+
+def silu(a) -> Tensor:
+    return Silu.apply(_as_tensor(a))
+
+
+def softplus(a) -> Tensor:
+    return Softplus.apply(_as_tensor(a))
+
+
+def softmax(a, axis: int = -1) -> Tensor:
+    return Softmax.apply(_as_tensor(a), axis=axis)
+
+
+def log_softmax(a, axis: int = -1) -> Tensor:
+    return LogSoftmax.apply(_as_tensor(a), axis=axis)
+
+
+def sum(a, axis: Axis = None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    return Sum.apply(_as_tensor(a), axis=axis, keepdims=keepdims)
+
+
+def mean(a, axis: Axis = None, keepdims: bool = False) -> Tensor:
+    return Mean.apply(_as_tensor(a), axis=axis, keepdims=keepdims)
+
+
+def max(a, axis: Optional[int] = None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    return Max.apply(_as_tensor(a), axis=axis, keepdims=keepdims)
+
+
+def reshape(a, shape: Sequence[int]) -> Tensor:
+    return Reshape.apply(_as_tensor(a), tuple(shape))
+
+
+def transpose(a, axes: Optional[Sequence[int]] = None) -> Tensor:
+    return Transpose.apply(_as_tensor(a), tuple(axes) if axes is not None else None)
+
+
+def getitem(a, index: Any) -> Tensor:
+    if isinstance(index, Tensor):
+        index = index.data.astype(np.int64)
+    return GetItem.apply(_as_tensor(a), index)
+
+
+def pad(a, pad_width: Sequence[Tuple[int, int]]) -> Tensor:
+    return Pad.apply(_as_tensor(a), tuple(tuple(p) for p in pad_width))
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    return Concat.apply(*[_as_tensor(t) for t in tensors], axis=axis)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    expanded = []
+    for t in tensors:
+        t = _as_tensor(t)
+        new_shape = list(t.shape)
+        new_shape.insert(axis if axis >= 0 else len(new_shape) + axis + 1, 1)
+        expanded.append(reshape(t, new_shape))
+    return concat(expanded, axis=axis)
+
+
+def embedding(weight: Tensor, ids) -> Tensor:
+    return Embedding.apply(_as_tensor(weight), _as_index(ids).astype(np.int64))
+
+
+def take_rows(a: Tensor, idx) -> Tensor:
+    return TakeRows.apply(_as_tensor(a), _as_index(idx).astype(np.int64))
+
+
+def scatter_rows(src: Tensor, idx, num_rows: int) -> Tensor:
+    return ScatterRows.apply(_as_tensor(src), _as_index(idx).astype(np.int64), int(num_rows))
+
+
+def where(condition, a, b) -> Tensor:
+    return Where.apply(_as_tensor(a), _as_tensor(b), _as_index(condition).astype(bool))
+
+
+def dropout(a: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    if not training or p <= 0.0:
+        return _as_tensor(a)
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    mask = (rng.random(a.shape) >= p).astype(a.dtype if isinstance(a, Tensor) else float)
+    return Dropout.apply(_as_tensor(a), mask, 1.0 / (1.0 - p))
+
+
+def scan_diag(decay: Tensor, x: Tensor) -> Tensor:
+    return ScanDiag.apply(_as_tensor(decay), _as_tensor(x))

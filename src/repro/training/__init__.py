@@ -1,0 +1,18 @@
+"""Fine-tuning harness (substrate S7)."""
+
+from .evaluate import evaluate, evaluate_choice, evaluate_exact
+from .loadbalance import LoadDistribution, measure_load_distribution
+from .metrics import EpochMetrics, TrainingHistory
+from .trainer import FineTuner, pretrain_language_model
+
+__all__ = [
+    "EpochMetrics",
+    "FineTuner",
+    "LoadDistribution",
+    "TrainingHistory",
+    "evaluate",
+    "evaluate_choice",
+    "evaluate_exact",
+    "measure_load_distribution",
+    "pretrain_language_model",
+]

@@ -1,0 +1,68 @@
+"""Evaluation harness: multiple-choice (HellaSwag) and exact-match (GSM8K).
+
+Both evaluators run the model in eval mode under ``no_grad`` and restore
+the previous training mode afterwards. Because every synthetic answer is
+a single token, both reduce to scoring the logits at the final prompt
+position — multiple choice compares the candidate answer logits, exact
+match requires the global argmax to equal the answer token.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..data import EvalDataset
+from ..tensor import no_grad
+
+
+def _final_logits(model, prompt_ids: np.ndarray) -> np.ndarray:
+    logits = model(prompt_ids[None, :])
+    return logits.data[0, -1]
+
+
+def evaluate_choice(model, dataset: EvalDataset, limit: Optional[int] = None) -> float:
+    """Fraction of items whose true answer outscores all distractors."""
+    was_training = model.training
+    model.eval()
+    correct = 0
+    items = dataset.items[:limit] if limit is not None else dataset.items
+    if not items:
+        raise ValueError("evaluation dataset is empty")
+    with no_grad():
+        for item in items:
+            logits = _final_logits(model, item.prompt_ids)
+            scores = [float(logits[int(choice[0])]) for choice in item.choices]
+            if int(np.argmax(scores)) == item.correct_index:
+                correct += 1
+    if was_training:
+        model.train()
+    return correct / len(items)
+
+
+def evaluate_exact(model, dataset: EvalDataset, limit: Optional[int] = None) -> float:
+    """Fraction of items where the argmax token equals the answer token."""
+    was_training = model.training
+    model.eval()
+    correct = 0
+    items = dataset.items[:limit] if limit is not None else dataset.items
+    if not items:
+        raise ValueError("evaluation dataset is empty")
+    with no_grad():
+        for item in items:
+            logits = _final_logits(model, item.prompt_ids)
+            answer_token = int(item.choices[item.correct_index][0])
+            if int(np.argmax(logits)) == answer_token:
+                correct += 1
+    if was_training:
+        model.train()
+    return correct / len(items)
+
+
+def evaluate(model, dataset: EvalDataset, limit: Optional[int] = None) -> float:
+    """Dispatch on the dataset's item kind."""
+    kind = dataset.items[0].kind if dataset.items else "choice"
+    if kind == "exact":
+        return evaluate_exact(model, dataset, limit=limit)
+    return evaluate_choice(model, dataset, limit=limit)

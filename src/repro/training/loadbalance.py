@@ -1,0 +1,77 @@
+"""Expert load-distribution measurement (the paper's Fig. 11 study).
+
+The paper extracts 1,000 examples, runs them through the model before and
+after fine-tuning, and reports the average number of tokens per query
+routed to each expert plus the variance across experts. This module
+reproduces that measurement on the trainable models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data import DataLoader, SyntheticDataset
+from ..tensor import no_grad
+
+
+@dataclass
+class LoadDistribution:
+    """Per-expert token load for one model/dataset measurement."""
+
+    tokens_per_query: np.ndarray  # (num_experts,) mean tokens per query
+    num_queries: int
+    label: str = ""
+
+    @property
+    def variance(self) -> float:
+        """Variance across experts — the paper's imbalance metric."""
+        return float(np.var(self.tokens_per_query))
+
+    @property
+    def normalized_shares(self) -> np.ndarray:
+        total = self.tokens_per_query.sum()
+        if total == 0:
+            return np.zeros_like(self.tokens_per_query)
+        return self.tokens_per_query / total
+
+    def imbalance_ratio(self) -> float:
+        """Max/mean expert load (1.0 = perfectly balanced)."""
+        mean = self.tokens_per_query.mean()
+        if mean == 0:
+            return 0.0
+        return float(self.tokens_per_query.max() / mean)
+
+
+def measure_load_distribution(
+    model,
+    dataset: SyntheticDataset,
+    num_queries: int = 1000,
+    batch_size: int = 1,
+    label: str = "",
+    seed: int = 0,
+) -> LoadDistribution:
+    """Route ``num_queries`` examples and average expert loads per query.
+
+    The default ``batch_size=1`` routes each query unpadded, so padding
+    tokens never pollute the routing statistics (the paper's measurement
+    runs real examples through the router).
+    """
+    subset = dataset.subset(num_queries, rng=np.random.default_rng(seed))
+    loader = DataLoader(subset, batch_size=batch_size, shuffle=False, seed=seed)
+    was_training = model.training
+    model.eval()
+    model.reset_expert_load()
+    queries = 0
+    with no_grad():
+        for batch in loader:
+            model(batch.input_ids)
+            queries += batch.batch_size
+    totals = model.expert_load().astype(np.float64)
+    num_moe_layers = len(model.moe_layers())
+    if was_training:
+        model.train()
+    # Average over layers so the numbers read as tokens/query like Fig. 11.
+    per_query = totals / max(1, queries) / max(1, num_moe_layers)
+    return LoadDistribution(tokens_per_query=per_query, num_queries=queries, label=label)

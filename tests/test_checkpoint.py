@@ -1,0 +1,73 @@
+"""Gradient checkpointing must be gradient-equivalent to plain execution."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor, checkpoint, no_grad, ops
+
+
+def make_block(rng):
+    w1 = Tensor(rng.standard_normal((6, 8)), requires_grad=True)
+    w2 = Tensor(rng.standard_normal((8, 6)), requires_grad=True)
+
+    def block(x):
+        return ops.silu(x @ w1) @ w2
+
+    return block, (w1, w2)
+
+
+class TestCheckpoint:
+    def test_forward_value_unchanged(self, rng):
+        block, _params = make_block(rng)
+        x = Tensor(rng.standard_normal((3, 6)), requires_grad=True)
+        plain = block(x)
+        ck = checkpoint(block, x)
+        np.testing.assert_allclose(ck.data, plain.data)
+
+    def test_gradients_match_plain_backward(self, rng):
+        block, (w1, w2) = make_block(rng)
+        x = Tensor(rng.standard_normal((3, 6)), requires_grad=True)
+        (checkpoint(block, x) ** 2).sum().backward()
+        grads_ck = (x.grad.copy(), w1.grad.copy(), w2.grad.copy())
+        x.zero_grad(), w1.zero_grad(), w2.zero_grad()
+        (block(x) ** 2).sum().backward()
+        for ck_grad, plain_grad in zip(grads_ck, (x.grad, w1.grad, w2.grad)):
+            np.testing.assert_allclose(ck_grad, plain_grad, rtol=1e-10)
+
+    def test_chained_checkpoints(self, rng):
+        block1, params1 = make_block(rng)
+        block2, params2 = make_block(rng)
+        x = Tensor(rng.standard_normal((2, 6)), requires_grad=True)
+        out = checkpoint(block2, checkpoint(block1, x))
+        out.sum().backward()
+        assert x.grad is not None
+        assert all(p.grad is not None for p in params1 + params2)
+
+    def test_no_grad_mode_just_calls_fn(self, rng):
+        block, _ = make_block(rng)
+        x = Tensor(rng.standard_normal((2, 6)))
+        with no_grad():
+            out = checkpoint(block, x)
+        assert out._ctx is None
+
+    def test_non_tensor_return_raises(self):
+        with pytest.raises(TypeError):
+            checkpoint(lambda x: "not a tensor", Tensor([1.0], requires_grad=True))
+
+    def test_module_checkpoint_matches(self, rng):
+        """Checkpointing a full Mixtral block reproduces plain gradients."""
+        from repro.models import MIXTRAL_TINY
+        from repro.models.mixtral import MixtralBlock
+
+        block = MixtralBlock(MIXTRAL_TINY, "full", rng)
+        x = Tensor(rng.standard_normal((2, 6, MIXTRAL_TINY.dim)), requires_grad=True)
+        (checkpoint(block, x) ** 2).sum().backward()
+        ck_param_grads = {n: p.grad.copy() for n, p in block.named_parameters()}
+        ck_x_grad = x.grad.copy()
+        block.zero_grad()
+        x.zero_grad()
+        (block(x) ** 2).sum().backward()
+        np.testing.assert_allclose(ck_x_grad, x.grad, rtol=1e-8)
+        for name, param in block.named_parameters():
+            np.testing.assert_allclose(ck_param_grads[name], param.grad, rtol=1e-8, atol=1e-12)

@@ -1,0 +1,104 @@
+"""Tests for cost estimation and the cloud price catalog."""
+
+import pytest
+
+from repro.cloud import DEFAULT_CATALOG, GPUPrice, PriceCatalog
+from repro.core import CostEstimate, FineTuningCostModel, dataset_num_queries
+from repro.gpu import A40, A100_40, A100_80, H100
+from repro.models import MIXTRAL_8X7B
+
+
+class TestPriceCatalog:
+    def test_paper_rates(self):
+        assert DEFAULT_CATALOG.dollars_per_hour("A40") == 0.79
+        assert DEFAULT_CATALOG.dollars_per_hour("A100-80GB") == 1.67
+        assert DEFAULT_CATALOG.dollars_per_hour("H100-80GB") == 2.10
+
+    def test_unknown_gpu(self):
+        with pytest.raises(KeyError):
+            DEFAULT_CATALOG.dollars_per_hour("TPU-v5")
+
+    def test_alternative_provider(self):
+        assert DEFAULT_CATALOG.dollars_per_hour("H100-80GB", provider="lambda") == 2.49
+
+    def test_add_and_query(self):
+        catalog = PriceCatalog([GPUPrice("A40", "aws", 1.10)])
+        assert catalog.dollars_per_hour("A40", "aws") == 1.10
+        catalog.add(GPUPrice("A40", "aws", 1.20))
+        assert catalog.dollars_per_hour("A40", "aws") == 1.20
+
+    def test_invalid_price(self):
+        with pytest.raises(ValueError):
+            GPUPrice("A40", "cudo", 0.0)
+
+    def test_listings(self):
+        assert "cudo" in DEFAULT_CATALOG.providers()
+        assert "A40" in DEFAULT_CATALOG.gpus("cudo")
+
+
+class TestCostEstimate:
+    def test_arithmetic(self):
+        estimate = CostEstimate(
+            gpu_name="A40", gpu_memory_gb=48, max_batch_size=4, throughput_qps=1.0,
+            dollars_per_hour=0.79, num_queries=14000, epochs=10,
+        )
+        assert estimate.total_queries == 140000
+        assert estimate.hours == pytest.approx(140000 / 3600)
+        assert estimate.dollars == pytest.approx(0.79 * 140000 / 3600)
+
+    def test_zero_throughput_infinite(self):
+        estimate = CostEstimate("A40", 48, 1, 0.0, 0.79, 100, 1)
+        assert estimate.hours == float("inf")
+
+
+class TestFineTuningCostModel:
+    def test_table4_cost_within_paper_range(self):
+        model = FineTuningCostModel.for_dataset(MIXTRAL_8X7B, "gsm8k", dense=False)
+        estimate = model.estimate(A40, num_queries=14000, epochs=10)
+        assert estimate.max_batch_size == 4
+        assert estimate.dollars == pytest.approx(32.7, rel=0.15)
+
+    def test_h100_is_cheapest(self):
+        """The paper's headline cost conclusion."""
+        model = FineTuningCostModel.for_dataset(MIXTRAL_8X7B, "gsm8k", dense=False)
+        ranked = model.rank_gpus([A40, A100_80, H100], num_queries=14000, epochs=10)
+        assert ranked[0].gpu_name == "H100-80GB"
+        assert ranked[0].dollars < ranked[-1].dollars
+
+    def test_openorca_projection_scale(self):
+        model = FineTuningCostModel.for_dataset(MIXTRAL_8X7B, "openorca", dense=False)
+        estimate = model.estimate(H100, num_queries=dataset_num_queries("openorca"), epochs=10)
+        assert estimate.dollars == pytest.approx(3460, rel=0.2)
+
+    def test_simulator_direct_close_to_eq2(self):
+        """Eq. 2 at the max batch size must track the simulator closely."""
+        model = FineTuningCostModel.for_dataset(MIXTRAL_8X7B, "gsm8k", dense=False)
+        via_fit = model.estimate(A100_80, 14000, use_simulator_directly=False)
+        via_sim = model.estimate(A100_80, 14000, use_simulator_directly=True)
+        assert via_fit.throughput_qps == pytest.approx(via_sim.throughput_qps, rel=0.25)
+
+    def test_undersized_gpu_raises(self):
+        model = FineTuningCostModel(MIXTRAL_8X7B, seq_len=512, dense=True)
+        with pytest.raises(ValueError):
+            model.estimate(A100_40, 1000)
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            FineTuningCostModel.for_dataset(MIXTRAL_8X7B, "wikipedia")
+        with pytest.raises(KeyError):
+            dataset_num_queries("wikipedia")
+
+    def test_throughput_model_cached(self):
+        model = FineTuningCostModel.for_dataset(MIXTRAL_8X7B, "gsm8k", dense=False)
+        first = model.throughput_model(A40)
+        assert model.throughput_model(A40) is first
+
+    def test_dataset_num_queries(self):
+        assert dataset_num_queries("math14k") == 14000
+        assert dataset_num_queries("openorca") == 2_000_000
+
+    def test_epochs_scale_cost_linearly(self):
+        model = FineTuningCostModel.for_dataset(MIXTRAL_8X7B, "gsm8k", dense=False)
+        one = model.estimate(H100, 14000, epochs=1)
+        ten = model.estimate(H100, 14000, epochs=10)
+        assert ten.dollars == pytest.approx(10 * one.dollars, rel=1e-9)

@@ -1,0 +1,227 @@
+"""Tests for the synthetic dataset substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import (
+    ArithmeticWorld,
+    DATASET_STATS,
+    DataLoader,
+    IGNORE_INDEX,
+    KnowledgeWorld,
+    SeqLenDistribution,
+    build_benchmark_suite,
+    build_pretraining_corpus,
+    build_vocabulary,
+    collate,
+)
+
+
+class TestVocabulary:
+    def test_special_tokens_first(self):
+        vocab = build_vocabulary()
+        assert vocab.pad_id == 0
+        assert vocab.bos_id == 1
+
+    def test_roundtrip_encode_decode(self):
+        vocab = build_vocabulary()
+        tokens = ["ent0", "rel1", "val2", "n7", "plus"]
+        assert vocab.decode(vocab.encode(tokens)) == tokens
+
+    def test_unknown_token_raises(self):
+        with pytest.raises(KeyError):
+            build_vocabulary().encode(["never-a-token"])
+
+    def test_fits_tiny_model_vocab(self):
+        assert len(build_vocabulary()) <= 512
+
+    def test_categories_disjoint(self):
+        vocab = build_vocabulary()
+        all_ids = [i for ids in vocab.categories.values() for i in ids]
+        assert len(all_ids) == len(set(all_ids)) == len(vocab)
+
+    def test_deterministic_construction(self):
+        assert build_vocabulary().token_to_id == build_vocabulary().token_to_id
+
+
+class TestSeqLenDistribution:
+    def test_median_matches_target(self):
+        dist = SeqLenDistribution(median=79)
+        lengths = dist.sample(np.random.default_rng(0), 20000)
+        assert np.median(lengths) == pytest.approx(79, rel=0.05)
+
+    def test_clipping(self):
+        dist = SeqLenDistribution(median=100, sigma=2.0, minimum=10, maximum=200)
+        lengths = dist.sample(np.random.default_rng(0), 5000)
+        assert lengths.min() >= 10 and lengths.max() <= 200
+
+    def test_right_skew(self):
+        dist = SeqLenDistribution(median=79)
+        lengths = dist.sample(np.random.default_rng(0), 20000)
+        assert lengths.mean() > np.median(lengths)  # log-normal skews right
+
+    def test_scaled_preserves_shape(self):
+        dist = SeqLenDistribution(median=100).scaled(0.25)
+        lengths = dist.sample(np.random.default_rng(0), 5000)
+        assert np.median(lengths) == pytest.approx(25, rel=0.1)
+
+    def test_histogram_sums_to_sample_size(self):
+        counts, edges = SeqLenDistribution(median=79).histogram(np.random.default_rng(0), 1000)
+        assert counts.sum() == 1000
+        assert len(edges) == len(counts) + 1
+
+
+class TestWorlds:
+    def test_fact_lookup_consistent(self):
+        vocab = build_vocabulary()
+        world = KnowledgeWorld(vocab, seed=3)
+        fact = world.facts[0]
+        assert world.lookup(fact.entity, fact.relation) == fact.value
+
+    def test_fact_table_complete(self):
+        vocab = build_vocabulary()
+        world = KnowledgeWorld(vocab, seed=3)
+        assert len(world.facts) == len(world.entities) * len(world.relations)
+
+    def test_distractors_exclude_truth(self):
+        vocab = build_vocabulary()
+        world = KnowledgeWorld(vocab, seed=3)
+        rng = np.random.default_rng(0)
+        for fact in world.facts[:20]:
+            wrong = world.distractor_values(fact, rng, 3)
+            assert fact.value not in wrong
+            assert len(set(wrong)) == 3
+
+    def test_different_seeds_different_worlds(self):
+        vocab = build_vocabulary()
+        a = KnowledgeWorld(vocab, seed=1)
+        b = KnowledgeWorld(vocab, seed=2)
+        differing = sum(fa.value != fb.value for fa, fb in zip(a.facts, b.facts))
+        assert differing > len(a.facts) // 2
+
+    def test_arithmetic_answers_correct_and_in_vocab(self):
+        vocab = build_vocabulary()
+        world = ArithmeticWorld(vocab)
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            p = world.sample_problem(rng)
+            expected = {"plus": p.lhs + p.rhs, "minus": p.lhs - p.rhs, "times": p.lhs * p.rhs}[p.op]
+            assert p.answer == expected
+            assert 0 <= p.answer <= world.max_number
+            assert p.answer_token in vocab
+
+    def test_arithmetic_distractors(self):
+        vocab = build_vocabulary()
+        world = ArithmeticWorld(vocab)
+        rng = np.random.default_rng(0)
+        p = world.sample_problem(rng)
+        wrong = world.distractor_answers(p, rng, 3)
+        assert p.answer_token not in wrong and len(set(wrong)) == 3
+
+
+class TestDatasets:
+    def test_suite_medians_match_table2(self, tiny_suite):
+        # Scaled by 0.2: expect ~16 and ~35.
+        assert tiny_suite.commonsense15k.median_seq_len() == pytest.approx(79 * 0.2, rel=0.25)
+        assert tiny_suite.math14k.median_seq_len() == pytest.approx(174 * 0.2, rel=0.25)
+
+    def test_registry_stats_match_paper(self):
+        assert DATASET_STATS["commonsense15k"].num_queries == 15000
+        assert DATASET_STATS["math14k"].median_seq_len == 174
+        assert DATASET_STATS["gsm8k"].num_queries == 1300
+        assert DATASET_STATS["hellaswag"].median_seq_len == 272
+
+    def test_labels_are_next_token_aligned(self, tiny_suite):
+        for query in tiny_suite.commonsense15k.queries[:50]:
+            ids, labels = query.input_ids, query.labels
+            for position in range(len(ids) - 1):
+                if labels[position] != IGNORE_INDEX:
+                    assert labels[position] == ids[position + 1]
+
+    def test_loss_covers_answer_only(self, tiny_suite):
+        query = tiny_suite.commonsense15k.queries[0]
+        supervised = (query.labels != IGNORE_INDEX).sum()
+        assert 1 <= supervised <= 3  # answer token + eos
+
+    def test_eval_items_have_single_correct_choice(self, tiny_suite):
+        for item in tiny_suite.hellaswag.items[:20]:
+            assert 0 <= item.correct_index < len(item.choices)
+            assert item.kind == "choice"
+        for item in tiny_suite.gsm8k.items[:20]:
+            assert item.kind == "exact"
+
+    def test_hellaswag_answer_is_true_fact(self, tiny_suite):
+        vocab = tiny_suite.vocab
+        world = KnowledgeWorld(vocab, seed=0)  # suite seed
+        for item in tiny_suite.hellaswag.items[:20]:
+            prompt_tokens = vocab.decode(item.prompt_ids)
+            entity = prompt_tokens[-3]
+            relation = prompt_tokens[-2]
+            truth = vocab.decode(item.choices[item.correct_index])[0]
+            assert world.lookup(entity, relation) == truth
+
+    def test_subset(self, tiny_suite):
+        sub = tiny_suite.commonsense15k.subset(10)
+        assert len(sub) == 10
+
+    def test_pretraining_corpus_no_fact_leak(self, tiny_suite, tiny_corpus):
+        """Shadow-world QA must disagree with the evaluation world broadly."""
+        vocab = tiny_suite.vocab
+        eval_world = KnowledgeWorld(vocab, seed=0)
+        agree = disagree = 0
+        for query in tiny_corpus.queries:
+            tokens = vocab.decode(query.input_ids)
+            if "<ans>" in tokens:
+                pos = tokens.index("<ans>")
+                if tokens[pos - 2].startswith("ent"):
+                    truth = eval_world.lookup(tokens[pos - 2], tokens[pos - 1])
+                    if tokens[pos + 1] == truth:
+                        agree += 1
+                    else:
+                        disagree += 1
+        assert disagree > 3 * agree  # mostly disagreeing fact tables
+
+
+class TestDataLoader:
+    def test_collate_pads_right(self, tiny_suite):
+        queries = tiny_suite.commonsense15k.queries[:4]
+        batch = collate(queries, pad_id=tiny_suite.vocab.pad_id)
+        max_len = max(q.length for q in queries)
+        assert batch.input_ids.shape == (4, max_len)
+        for row, query in enumerate(queries):
+            assert np.all(batch.input_ids[row, query.length:] == tiny_suite.vocab.pad_id)
+            assert np.all(batch.labels[row, query.length:] == IGNORE_INDEX)
+
+    def test_collate_empty_raises(self, tiny_suite):
+        with pytest.raises(ValueError):
+            collate([], pad_id=0)
+
+    def test_loader_covers_dataset(self, tiny_suite):
+        loader = DataLoader(tiny_suite.commonsense15k, batch_size=32, shuffle=True)
+        seen = sum(batch.batch_size for batch in loader)
+        assert seen == len(tiny_suite.commonsense15k)
+
+    def test_drop_last(self, tiny_suite):
+        loader = DataLoader(tiny_suite.commonsense15k, batch_size=7, drop_last=True)
+        for batch in loader:
+            assert batch.batch_size == 7
+
+    def test_invalid_batch_size(self, tiny_suite):
+        with pytest.raises(ValueError):
+            DataLoader(tiny_suite.commonsense15k, batch_size=0)
+
+    def test_shuffle_changes_order_across_epochs(self, tiny_suite):
+        loader = DataLoader(tiny_suite.commonsense15k, batch_size=16, shuffle=True, seed=3)
+        first = next(iter(loader)).input_ids.copy()
+        second = next(iter(loader)).input_ids
+        assert first.shape != second.shape or not np.array_equal(first, second)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2**16))
+def test_dataset_generation_deterministic(seed):
+    a = build_benchmark_suite(seed=seed % 7, train_size=20, eval_size=5)
+    b = build_benchmark_suite(seed=seed % 7, train_size=20, eval_size=5)
+    for qa, qb in zip(a.commonsense15k.queries, b.commonsense15k.queries):
+        assert np.array_equal(qa.input_ids, qb.input_ids)

@@ -1,0 +1,173 @@
+"""Tests for GPU specs, kernel descriptions and the roofline timing model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu import (
+    A40,
+    A100_40,
+    A100_80,
+    COMPUTE_BOUND,
+    GPU_REGISTRY,
+    H100,
+    Kernel,
+    KernelKind,
+    MEMORY_BOUND,
+    OVERHEAD_BOUND,
+    get_gpu,
+    time_kernel,
+    time_kernels,
+    time_weighted_dram,
+    time_weighted_sm,
+)
+
+
+class TestSpecs:
+    def test_registry_contains_paper_gpus(self):
+        assert set(GPU_REGISTRY) == {"A40", "A100-40GB", "A100-80GB", "H100-80GB"}
+
+    def test_a40_datasheet_values(self):
+        assert A40.memory_gb == 48.0
+        assert A40.sm_count == 84
+        assert A40.peak_fp16_flops == pytest.approx(149.7e12)
+        assert A40.peak_bandwidth == pytest.approx(696e9)
+
+    def test_gpu_ordering_by_compute(self):
+        assert H100.fp16_tflops > A100_80.fp16_tflops > A40.fp16_tflops
+
+    def test_with_memory_variant(self):
+        future = H100.with_memory(120)
+        assert future.memory_gb == 120
+        assert future.fp16_tflops == H100.fp16_tflops
+        assert "120" in future.name
+
+    def test_get_gpu_unknown(self):
+        with pytest.raises(KeyError):
+            get_gpu("B200")
+
+
+def big_matmul(flops=1e12, bytes_=1e8, rows=4096.0):
+    return Kernel("mm", KernelKind.MATMUL, flops=flops, bytes=bytes_, rows=rows)
+
+
+class TestKernelValidation:
+    def test_negative_work_rejected(self):
+        with pytest.raises(ValueError):
+            Kernel("bad", KernelKind.MATMUL, flops=-1, bytes=0)
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ValueError):
+            Kernel("bad", KernelKind.MATMUL, flops=1, bytes=1, stage="sideways")
+
+    def test_count_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Kernel("bad", KernelKind.MATMUL, flops=1, bytes=1, count=0)
+
+
+class TestRoofline:
+    def test_compute_bound_classification(self):
+        timing = time_kernel(big_matmul(flops=1e13, bytes_=1e6), A40)
+        assert timing.bound == COMPUTE_BOUND
+
+    def test_memory_bound_classification(self):
+        kernel = Kernel("copy", KernelKind.ELEMENTWISE, flops=1e6, bytes=1e10)
+        assert time_kernel(kernel, A40).bound == MEMORY_BOUND
+
+    def test_overhead_bound_for_tiny_kernels(self):
+        kernel = Kernel("tiny", KernelKind.ELEMENTWISE, flops=10, bytes=10)
+        assert time_kernel(kernel, A40).bound == OVERHEAD_BOUND
+
+    def test_time_scales_inverse_with_peak_flops(self):
+        kernel = big_matmul(flops=5e13, bytes_=1e6)
+        t_a40 = time_kernel(kernel, A40).seconds
+        t_h100 = time_kernel(kernel, H100).seconds
+        assert t_a40 / t_h100 == pytest.approx(H100.fp16_tflops / A40.fp16_tflops, rel=0.15)
+
+    def test_memory_time_scales_with_bandwidth(self):
+        kernel = Kernel("copy", KernelKind.ELEMENTWISE, flops=0, bytes=5e10)
+        t_a40 = time_kernel(kernel, A40).seconds
+        t_h100 = time_kernel(kernel, H100).seconds
+        assert t_a40 / t_h100 == pytest.approx(H100.mem_bandwidth_gbs / A40.mem_bandwidth_gbs, rel=0.05)
+
+    def test_count_multiplies_total_seconds(self):
+        single = time_kernel(big_matmul(), A40).seconds
+        multi = time_kernel(
+            Kernel("mm", KernelKind.MATMUL, flops=1e12, bytes=1e8, rows=4096.0, count=8), A40
+        ).seconds
+        assert multi == pytest.approx(8 * single, rel=1e-9)
+
+    def test_row_saturation_slows_small_gemms(self):
+        fat = time_kernel(big_matmul(rows=4096), A40).seconds
+        thin = time_kernel(big_matmul(rows=16), A40).seconds
+        assert thin > 2 * fat
+
+    def test_eff_scale_penalty(self):
+        plain = time_kernel(big_matmul(), A40).seconds
+        quantized = time_kernel(
+            Kernel("mm", KernelKind.MATMUL, flops=1e12, bytes=1e8, rows=4096.0, eff_scale=0.5), A40
+        ).seconds
+        assert quantized == pytest.approx(2 * plain, rel=0.05)
+
+    def test_utilization_bounds(self):
+        for kernel in (big_matmul(), Kernel("d", KernelKind.DEQUANT, flops=1e9, bytes=1e9)):
+            timing = time_kernel(kernel, A40)
+            assert 0.0 <= timing.sm_utilization <= 100.0
+            assert 0.0 <= timing.dram_utilization <= 100.0
+
+    def test_dequant_issue_floor_keeps_sm_high(self):
+        """Fig. 9 insight: memory-bound dequant still reports high SM%."""
+        dequant = Kernel("dq", KernelKind.DEQUANT, flops=6e9, bytes=2.5e9)
+        timing = time_kernel(dequant, A40)
+        assert timing.bound == MEMORY_BOUND
+        assert timing.sm_utilization > 60.0
+
+    def test_matmul_sm_grows_with_rows(self):
+        """Fig. 9 insight: SM% rises with batch (rows per expert)."""
+        utils = [
+            time_kernel(big_matmul(flops=1e12, bytes_=1e9, rows=r), A40).sm_utilization
+            for r in (16, 64, 256, 1024)
+        ]
+        assert utils == sorted(utils)
+        assert utils[-1] > 2 * utils[0]
+
+    def test_compute_bound_kernel_low_dram(self):
+        timing = time_kernel(big_matmul(flops=1e14, bytes_=1e8), A40)
+        assert timing.dram_utilization < 20.0
+
+    def test_microseconds_per_launch(self):
+        kernel = Kernel("mm", KernelKind.MATMUL, flops=1e12, bytes=1e8, rows=4096.0, count=4)
+        timing = time_kernel(kernel, A40)
+        assert timing.microseconds_per_launch == pytest.approx(timing.seconds / 4 * 1e6)
+
+
+class TestTimeWeightedAggregates:
+    def test_weighting_favours_long_kernels(self):
+        long_low = Kernel("a", KernelKind.ELEMENTWISE, flops=1e6, bytes=5e10)  # low SM
+        short_high = Kernel("b", KernelKind.MATMUL, flops=1e11, bytes=1e6, rows=4096.0)
+        timings = time_kernels([long_low, short_high], A40)
+        aggregate = time_weighted_sm(timings)
+        assert aggregate < (timings[0].sm_utilization + timings[1].sm_utilization) / 2
+
+    def test_empty_list_zero(self):
+        assert time_weighted_sm([]) == 0.0
+        assert time_weighted_dram([]) == 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    flops=st.floats(min_value=1e6, max_value=1e15),
+    bytes_=st.floats(min_value=1e3, max_value=1e12),
+    rows=st.floats(min_value=1, max_value=1e5),
+)
+def test_roofline_monotonicity_property(flops, bytes_, rows):
+    """More work never takes less time; utilization stays in [0, 100]."""
+    base = Kernel("k", KernelKind.MATMUL, flops=flops, bytes=bytes_, rows=rows)
+    double = Kernel("k", KernelKind.MATMUL, flops=2 * flops, bytes=2 * bytes_, rows=rows)
+    t1 = time_kernel(base, A40)
+    t2 = time_kernel(double, A40)
+    assert t2.seconds >= t1.seconds
+    for timing in (t1, t2):
+        assert 0 <= timing.sm_utilization <= 100
+        assert 0 <= timing.dram_utilization <= 100
+        assert timing.seconds > 0

@@ -1,0 +1,87 @@
+"""Integration tests across substrates: the full paper pipeline end to end."""
+
+import numpy as np
+import pytest
+
+from repro.core import FineTuningCostModel, collect_batch_size_observations, BatchSizeModel
+from repro.data import build_benchmark_suite, build_pretraining_corpus
+from repro.gpu import A40, A100_80, GPUSimulator, H100
+from repro.memory import max_batch_size
+from repro.models import (
+    BLACKMAMBA_TINY,
+    BlackMambaModel,
+    MIXTRAL_TINY,
+    MixtralModel,
+    convert_to_qlora,
+    MIXTRAL_8X7B,
+)
+from repro.training import FineTuner, evaluate, measure_load_distribution, pretrain_language_model
+
+
+@pytest.mark.slow
+class TestEndToEndTraining:
+    def test_pretrain_then_qlora_finetune_improves_accuracy(self):
+        """The Fig. 3 pipeline in miniature: accuracy must rise well above
+        the pre-fine-tuning baseline within a few epochs."""
+        suite = build_benchmark_suite(train_size=600, eval_size=60, length_scale=0.2)
+        corpus = build_pretraining_corpus(suite.vocab, size=800)
+        rng = np.random.default_rng(42)
+        model = MixtralModel(MIXTRAL_TINY, finetune_mode="full", gradient_checkpointing=False, rng=rng)
+        model.set_sparsity(dense=False)
+        pretrain_language_model(model, corpus, steps=200, batch_size=16, learning_rate=3e-3)
+        pre = evaluate(model, suite.hellaswag, limit=60)
+        assert pre < 0.5  # near chance before fine-tuning
+
+        convert_to_qlora(model, rng=rng)
+        model.gradient_checkpointing = False
+        tuner = FineTuner(model, suite.commonsense15k, batch_size=16, learning_rate=8e-3)
+        history = tuner.train(num_epochs=5, eval_fn=lambda: evaluate(model, suite.hellaswag, limit=60))
+        assert history.best_accuracy() > pre + 0.15
+        assert history.losses[-1] < history.losses[0]
+
+    def test_blackmamba_full_finetune_learns_commonsense(self):
+        suite = build_benchmark_suite(train_size=400, eval_size=50, length_scale=0.2)
+        corpus = build_pretraining_corpus(suite.vocab, size=400)
+        model = BlackMambaModel(BLACKMAMBA_TINY, rng=np.random.default_rng(3))
+        model.set_sparsity(dense=False)
+        pretrain_language_model(model, corpus, steps=120, batch_size=16, learning_rate=3e-3)
+        tuner = FineTuner(model, suite.commonsense15k, batch_size=16, learning_rate=2e-3)
+        history = tuner.train(num_epochs=4, eval_fn=lambda: evaluate(model, suite.hellaswag, limit=50))
+        assert history.best_accuracy() > 0.5
+
+    def test_load_distribution_changes_after_finetuning(self):
+        suite = build_benchmark_suite(train_size=300, eval_size=40, length_scale=0.2)
+        model = MixtralModel(MIXTRAL_TINY, finetune_mode="full", gradient_checkpointing=False,
+                             rng=np.random.default_rng(9))
+        model.set_sparsity(dense=False)
+        pre = measure_load_distribution(model, suite.commonsense15k, num_queries=80)
+        FineTuner(model, suite.commonsense15k, batch_size=16, learning_rate=3e-3).train(3)
+        post = measure_load_distribution(model, suite.commonsense15k, num_queries=80)
+        assert not np.allclose(pre.normalized_shares, post.normalized_shares, atol=1e-3)
+
+
+class TestAnalyticalPipelineConsistency:
+    def test_eq1_predictions_track_oracle_on_unseen_gpu(self):
+        """Fit Eq. 1 on three GPUs, predict the fourth."""
+        train_gpus = [A40, A100_80, H100.with_memory(100)]
+        observations = collect_batch_size_observations(MIXTRAL_8X7B, train_gpus)
+        model = BatchSizeModel.fit(observations, fit_overhead=True)
+        predicted = model.predict(H100.memory_gb, 128, 0.25)
+        oracle = max_batch_size(MIXTRAL_8X7B, H100, 128, dense=False)
+        assert abs(predicted - oracle) <= 3
+
+    def test_cost_model_uses_consistent_batch_and_throughput(self):
+        cost_model = FineTuningCostModel.for_dataset(MIXTRAL_8X7B, "gsm8k", dense=False)
+        estimate = cost_model.estimate(A40, 14000)
+        sim_qps = GPUSimulator(A40).throughput(
+            MIXTRAL_8X7B, estimate.max_batch_size, cost_model.seq_len, dense=False
+        )
+        assert estimate.throughput_qps == pytest.approx(sim_qps, rel=0.3)
+
+    def test_sparse_cheaper_than_dense(self):
+        """Takeaway 4 at the dollars level: sparse fine-tuning costs less."""
+        sparse = FineTuningCostModel.for_dataset(MIXTRAL_8X7B, "commonsense15k", dense=False)
+        dense = FineTuningCostModel.for_dataset(MIXTRAL_8X7B, "commonsense15k", dense=True)
+        assert (
+            sparse.estimate(A40, 15000).dollars < dense.estimate(A40, 15000).dollars
+        )

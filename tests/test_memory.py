@@ -1,0 +1,130 @@
+"""Tests for the memory estimator (Table III oracle)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu import A40, A100_40, A100_80, H100
+from repro.memory import (
+    EFFECTIVE_SEQ_LEN,
+    activation_gb_per_query,
+    fits_in_memory,
+    max_batch_size,
+    max_batch_size_for_dataset,
+    memory_breakdown,
+)
+from repro.models import BLACKMAMBA_2_8B, MIXTRAL_8X7B
+
+TABLE3 = {
+    ("mixtral", "commonsense15k", True): 2,
+    ("mixtral", "commonsense15k", False): 8,
+    ("mixtral", "math14k", True): 1,
+    ("mixtral", "math14k", False): 3,
+    ("blackmamba", "commonsense15k", True): 6,
+    ("blackmamba", "commonsense15k", False): 20,
+    ("blackmamba", "math14k", True): 2,
+    ("blackmamba", "math14k", False): 8,
+}
+
+
+class TestTable3:
+    @pytest.mark.parametrize("key,expected", list(TABLE3.items()),
+                             ids=[f"{m}-{d}-{'D' if s else 'S'}" for (m, d, s) in TABLE3])
+    def test_exact_paper_cell(self, key, expected):
+        family, dataset, dense = key
+        cfg = MIXTRAL_8X7B if family == "mixtral" else BLACKMAMBA_2_8B
+        assert max_batch_size_for_dataset(cfg, A40, dataset, dense=dense) == expected
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            max_batch_size_for_dataset(MIXTRAL_8X7B, A40, "imagenet", dense=False)
+
+
+class TestTable4BatchSizes:
+    def test_gsm8k_sparse_cells(self):
+        assert max_batch_size_for_dataset(MIXTRAL_8X7B, A40, "gsm8k", dense=False) == 4
+        assert max_batch_size_for_dataset(MIXTRAL_8X7B, A100_80, "gsm8k", dense=False) == 17
+        assert max_batch_size_for_dataset(MIXTRAL_8X7B, H100, "gsm8k", dense=False) == 17
+
+
+class TestBreakdown:
+    def test_mixtral_fixed_components(self):
+        bd = memory_breakdown(MIXTRAL_8X7B, 128, dense=False)
+        assert bd.weights_gb == pytest.approx(23.35, rel=0.01)
+        assert bd.adapter_gb == pytest.approx(0.914, rel=0.02)
+        assert bd.optimizer_gb == pytest.approx(2 * bd.adapter_gb, rel=1e-6)
+        assert bd.fixed_gb == pytest.approx(37.0, rel=0.02)
+
+    def test_blackmamba_fixed_components(self):
+        bd = memory_breakdown(BLACKMAMBA_2_8B, 128, dense=False)
+        assert bd.weights_gb == pytest.approx(5.64, rel=0.02)
+        assert bd.gradient_gb == pytest.approx(bd.weights_gb, rel=1e-6)
+        assert bd.optimizer_gb == pytest.approx(4 * bd.weights_gb, rel=1e-6)
+
+    def test_total_includes_batch(self):
+        bd = memory_breakdown(MIXTRAL_8X7B, 128, dense=False)
+        assert bd.total_gb(4) == pytest.approx(bd.fixed_gb + 4 * bd.activation_gb_per_query)
+
+    def test_dense_activation_larger_than_sparse(self):
+        dense = activation_gb_per_query(MIXTRAL_8X7B, 128, dense=True)
+        sparse = activation_gb_per_query(MIXTRAL_8X7B, 128, dense=False)
+        assert dense > 3 * sparse
+
+    def test_activation_linear_in_seq_len(self):
+        short = activation_gb_per_query(MIXTRAL_8X7B, 100, dense=False)
+        long = activation_gb_per_query(MIXTRAL_8X7B, 200, dense=False)
+        assert long == pytest.approx(2 * short, rel=1e-9)
+
+    def test_invalid_seq_len(self):
+        with pytest.raises(ValueError):
+            activation_gb_per_query(MIXTRAL_8X7B, 0, dense=False)
+
+
+class TestMaxBatchSizeBehaviour:
+    def test_more_memory_never_hurts(self):
+        small = max_batch_size(MIXTRAL_8X7B, A100_40, 128, dense=False)
+        large = max_batch_size(MIXTRAL_8X7B, A100_80, 128, dense=False)
+        assert large >= small
+
+    def test_longer_sequences_never_help(self):
+        previous = None
+        for seq in (64, 128, 256, 512):
+            current = max_batch_size(MIXTRAL_8X7B, A40, seq, dense=False)
+            if previous is not None:
+                assert current <= previous
+            previous = current
+
+    def test_sparse_geq_dense(self):
+        for gpu in (A40, A100_80):
+            assert max_batch_size(MIXTRAL_8X7B, gpu, 128, False) >= max_batch_size(
+                MIXTRAL_8X7B, gpu, 128, True
+            )
+
+    def test_zero_when_model_does_not_fit(self):
+        assert max_batch_size(MIXTRAL_8X7B, A100_40, 512, dense=True) == 0
+
+    def test_blackmamba_fits_more_than_mixtral(self):
+        """Fig. 8 observation: the smaller model supports larger batches."""
+        assert max_batch_size(BLACKMAMBA_2_8B, A40, 128, False) > max_batch_size(
+            MIXTRAL_8X7B, A40, 128, False
+        )
+
+    def test_fits_in_memory_consistent_with_max(self):
+        mbs = max_batch_size(MIXTRAL_8X7B, A40, 128, dense=False)
+        assert fits_in_memory(MIXTRAL_8X7B, A40, mbs, 128, dense=False)
+        assert not fits_in_memory(MIXTRAL_8X7B, A40, mbs + 1, 128, dense=False)
+
+    def test_effective_lengths_registered(self):
+        assert set(EFFECTIVE_SEQ_LEN) >= {"commonsense15k", "math14k", "gsm8k", "hellaswag", "openorca"}
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    mem=st.floats(min_value=30, max_value=200),
+    seq=st.integers(16, 1024),
+)
+def test_max_batch_monotone_in_memory_property(mem, seq):
+    small_gpu = A40.with_memory(mem)
+    big_gpu = A40.with_memory(mem + 16)
+    assert max_batch_size(MIXTRAL_8X7B, big_gpu, seq, False) >= max_batch_size(
+        MIXTRAL_8X7B, small_gpu, seq, False
+    )

@@ -1,0 +1,189 @@
+"""Tests for the model zoo: configs, parameter accounting, forward passes."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    BLACKMAMBA_2_8B,
+    BLACKMAMBA_TINY,
+    BlackMambaModel,
+    MIXTRAL_8X7B,
+    MIXTRAL_TINY,
+    MODEL_REGISTRY,
+    MixtralModel,
+    convert_to_qlora,
+    get_model_spec,
+    lora_adapter_parameters,
+    model_memory_gb,
+    param_breakdown,
+    trainable_parameters,
+    weight_bytes_per_param,
+)
+from repro.tensor import Tensor, no_grad
+
+
+class TestParamAccounting:
+    def test_mixtral_paper_scale_matches_table1(self):
+        bd = param_breakdown(MIXTRAL_8X7B)
+        assert bd.total / 1e9 == pytest.approx(46.7, rel=0.01)
+        assert model_memory_gb(MIXTRAL_8X7B) == pytest.approx(23.35, rel=0.01)
+
+    def test_blackmamba_paper_scale_matches_table1(self):
+        bd = param_breakdown(BLACKMAMBA_2_8B)
+        assert bd.total / 1e9 == pytest.approx(2.8, rel=0.02)
+        assert model_memory_gb(BLACKMAMBA_2_8B) == pytest.approx(5.6, rel=0.02)
+
+    def test_mixtral_tiny_analytic_equals_actual(self, rng):
+        model = MixtralModel(MIXTRAL_TINY, finetune_mode="full", rng=rng)
+        assert model.num_parameters() == param_breakdown(MIXTRAL_TINY).total
+
+    def test_blackmamba_tiny_analytic_equals_actual(self, rng):
+        model = BlackMambaModel(BLACKMAMBA_TINY, rng=rng)
+        assert model.num_parameters() == param_breakdown(BLACKMAMBA_TINY).total
+
+    def test_experts_dominate_mixtral(self):
+        bd = param_breakdown(MIXTRAL_8X7B)
+        assert bd.components["moe_experts"] / bd.total > 0.9
+
+    def test_lora_adapter_count_small_fraction(self):
+        adapters = lora_adapter_parameters(MIXTRAL_8X7B)
+        assert adapters / param_breakdown(MIXTRAL_8X7B).total < 0.01
+
+    def test_trainable_parameters_by_method(self):
+        assert trainable_parameters(MIXTRAL_8X7B) == lora_adapter_parameters(MIXTRAL_8X7B)
+        assert trainable_parameters(BLACKMAMBA_2_8B) == param_breakdown(BLACKMAMBA_2_8B).total
+
+    def test_weight_bytes(self):
+        assert weight_bytes_per_param(MIXTRAL_8X7B) == 0.5  # NF4
+        assert weight_bytes_per_param(BLACKMAMBA_2_8B) == 2.0  # fp16
+
+
+class TestConfigs:
+    def test_blackmamba_layer_types(self):
+        types = BLACKMAMBA_2_8B.layer_types()
+        assert len(types) == 18
+        assert types.count("moe") == 8
+        assert types.count("mamba") == 10
+
+    def test_blackmamba_invalid_layout_raises(self):
+        bad = BLACKMAMBA_2_8B.scaled(num_layers=4, num_moe_layers=4)
+        with pytest.raises(ValueError):
+            bad.layer_types()
+
+    def test_sparsity_values(self):
+        assert MIXTRAL_8X7B.moe.sparsity(dense=True) == 1.0
+        assert MIXTRAL_8X7B.moe.sparsity(dense=False) == 0.25
+
+    def test_registry(self):
+        assert get_model_spec("mixtral-8x7b").finetune_method == "qlora"
+        assert get_model_spec("blackmamba-2.8b").finetune_method == "full"
+        with pytest.raises(KeyError):
+            get_model_spec("gpt-5")
+
+    def test_paper_scale_build_refused(self):
+        with pytest.raises(ValueError):
+            get_model_spec("mixtral-8x7b").build()
+
+    def test_tiny_specs_buildable(self, rng):
+        assert MODEL_REGISTRY["mixtral-tiny"].build(rng) is not None
+        assert MODEL_REGISTRY["blackmamba-tiny"].build(rng) is not None
+
+
+class TestMixtralModel:
+    def test_forward_logits_shape(self, rng):
+        model = MixtralModel(MIXTRAL_TINY, finetune_mode="full", rng=rng)
+        ids = rng.integers(0, MIXTRAL_TINY.vocab_size, (2, 10))
+        with no_grad():
+            logits = model(ids)
+        assert logits.shape == (2, 10, MIXTRAL_TINY.vocab_size)
+
+    def test_qlora_only_trains_adapters(self, rng):
+        model = MixtralModel(MIXTRAL_TINY, finetune_mode="qlora", rng=rng)
+        trainable = [n for n, p in model.named_parameters() if p.requires_grad]
+        assert trainable and all("lora_" in n for n in trainable)
+
+    def test_qlora_enables_checkpointing_by_default(self, rng):
+        assert MixtralModel(MIXTRAL_TINY, finetune_mode="qlora", rng=rng).gradient_checkpointing
+        assert not MixtralModel(MIXTRAL_TINY, finetune_mode="full", rng=rng).gradient_checkpointing
+
+    def test_invalid_mode(self, rng):
+        with pytest.raises(ValueError):
+            MixtralModel(MIXTRAL_TINY, finetune_mode="prompt-tuning", rng=rng)
+
+    def test_set_sparsity_toggles_all_layers(self, rng):
+        model = MixtralModel(MIXTRAL_TINY, finetune_mode="full", rng=rng)
+        model.set_sparsity(dense=True)
+        assert all(m.top_k == 8 for m in model.moe_layers())
+        model.set_sparsity(dense=False)
+        assert all(m.top_k == 2 for m in model.moe_layers())
+
+    def test_expert_load_collection(self, rng):
+        model = MixtralModel(MIXTRAL_TINY, finetune_mode="full", rng=rng)
+        model.eval()
+        ids = rng.integers(0, MIXTRAL_TINY.vocab_size, (2, 8))
+        with no_grad():
+            model(ids)
+        load = model.expert_load()
+        assert load.sum() == 2 * 8 * 2 * len(model.moe_layers())  # tokens*topk*layers
+        model.reset_expert_load()
+        assert model.expert_load().sum() == 0
+
+    def test_checkpointing_matches_plain_forward(self, rng):
+        model = MixtralModel(MIXTRAL_TINY, finetune_mode="full", gradient_checkpointing=True, rng=rng)
+        ids = rng.integers(0, MIXTRAL_TINY.vocab_size, (1, 6))
+        model.train()
+        with_ck = model(ids).data.copy()
+        model.gradient_checkpointing = False
+        without = model(ids).data
+        np.testing.assert_allclose(with_ck, without, rtol=1e-10)
+
+    def test_convert_to_qlora_preserves_function_at_step0(self, rng):
+        model = MixtralModel(MIXTRAL_TINY, finetune_mode="full", rng=rng)
+        ids = rng.integers(0, MIXTRAL_TINY.vocab_size, (1, 6))
+        model.eval()
+        with no_grad():
+            before = model(ids).data.copy()
+        convert_to_qlora(model, rng=rng)
+        model.gradient_checkpointing = False
+        with no_grad():
+            after = model(ids).data
+        # LoRA starts as a no-op; only NF4 quantization error remains.
+        assert np.abs(after - before).mean() < 0.5
+
+    def test_convert_to_qlora_idempotent(self, rng):
+        model = MixtralModel(MIXTRAL_TINY, finetune_mode="full", rng=rng)
+        convert_to_qlora(model, rng=rng)
+        assert convert_to_qlora(model, rng=rng) is model
+
+    def test_aux_loss_collection(self, rng):
+        model = MixtralModel(MIXTRAL_TINY, finetune_mode="full", rng=rng)
+        model.set_aux_loss(True)
+        ids = rng.integers(0, MIXTRAL_TINY.vocab_size, (1, 6))
+        model(ids)
+        assert model.collect_aux_loss() is not None
+
+
+class TestBlackMambaModel:
+    def test_forward_logits_shape(self, rng):
+        model = BlackMambaModel(BLACKMAMBA_TINY, rng=rng)
+        ids = rng.integers(0, BLACKMAMBA_TINY.vocab_size, (2, 10))
+        with no_grad():
+            logits = model(ids)
+        assert logits.shape == (2, 10, BLACKMAMBA_TINY.vocab_size)
+
+    def test_all_parameters_trainable(self, rng):
+        model = BlackMambaModel(BLACKMAMBA_TINY, rng=rng)
+        assert all(p.requires_grad for p in model.parameters())
+
+    def test_moe_layer_count_matches_config(self, rng):
+        model = BlackMambaModel(BLACKMAMBA_TINY, rng=rng)
+        assert len(model.moe_layers()) == BLACKMAMBA_TINY.num_moe_layers
+
+    def test_state_dict_roundtrip_preserves_output(self, rng):
+        a = BlackMambaModel(BLACKMAMBA_TINY, rng=rng)
+        b = BlackMambaModel(BLACKMAMBA_TINY, rng=np.random.default_rng(321))
+        b.load_state_dict(a.state_dict())
+        ids = rng.integers(0, BLACKMAMBA_TINY.vocab_size, (1, 7))
+        a.eval(), b.eval()
+        with no_grad():
+            np.testing.assert_allclose(a(ids).data, b(ids).data, rtol=1e-12)

@@ -1,0 +1,103 @@
+"""Tests for the multi-GPU data-parallel extension (paper future work)."""
+
+import pytest
+
+from repro.gpu import (
+    A40,
+    DataParallelSimulator,
+    H100,
+    Interconnect,
+    NVLINK,
+    PCIE_GEN4,
+    multi_gpu_cost_dollars,
+    trainable_gradient_bytes,
+)
+from repro.models import BLACKMAMBA_2_8B, MIXTRAL_8X7B
+
+
+class TestInterconnect:
+    def test_single_gpu_no_allreduce(self):
+        assert NVLINK.allreduce_seconds(1e9, 1) == 0.0
+
+    def test_ring_traffic_grows_with_gpus(self):
+        two = NVLINK.allreduce_seconds(1e9, 2)
+        eight = NVLINK.allreduce_seconds(1e9, 8)
+        assert eight > two
+
+    def test_bandwidth_ordering(self):
+        assert PCIE_GEN4.allreduce_seconds(1e9, 4) > NVLINK.allreduce_seconds(1e9, 4)
+
+
+class TestGradientPayload:
+    def test_qlora_payload_tiny(self):
+        mixtral = trainable_gradient_bytes(MIXTRAL_8X7B)
+        blackmamba = trainable_gradient_bytes(BLACKMAMBA_2_8B)
+        assert mixtral < blackmamba / 5  # adapters vs full model
+
+    def test_blackmamba_payload_matches_params(self):
+        from repro.models import param_breakdown
+
+        assert trainable_gradient_bytes(BLACKMAMBA_2_8B) == pytest.approx(
+            2 * param_breakdown(BLACKMAMBA_2_8B).total
+        )
+
+
+class TestDataParallelSimulator:
+    def test_single_gpu_matches_base_simulator(self):
+        sim = DataParallelSimulator(A40)
+        estimate = sim.estimate(MIXTRAL_8X7B, 4, 128, num_gpus=1)
+        assert estimate.scaling_efficiency == pytest.approx(1.0)
+        assert estimate.allreduce_seconds == 0.0
+
+    def test_throughput_grows_with_gpus(self):
+        sim = DataParallelSimulator(A40)
+        previous = 0.0
+        for n in (1, 2, 4, 8):
+            estimate = sim.estimate(MIXTRAL_8X7B, 4, 128, num_gpus=n)
+            assert estimate.queries_per_second > previous
+            previous = estimate.queries_per_second
+
+    def test_efficiency_monotone_nonincreasing(self):
+        sim = DataParallelSimulator(A40, interconnect=PCIE_GEN4)
+        curve = sim.scaling_curve(BLACKMAMBA_2_8B, 6, 128, max_gpus=8)
+        efficiencies = [curve[n].scaling_efficiency for n in sorted(curve)]
+        assert all(b <= a + 1e-9 for a, b in zip(efficiencies, efficiencies[1:]))
+        assert all(0 < e <= 1.0 + 1e-9 for e in efficiencies)
+
+    def test_qlora_scales_better_than_full_ft(self):
+        """Headline of the extension: adapter-only sync is near-free."""
+        sim = DataParallelSimulator(A40, interconnect=PCIE_GEN4)
+        mixtral = sim.estimate(MIXTRAL_8X7B, 4, 128, num_gpus=8)
+        blackmamba = sim.estimate(BLACKMAMBA_2_8B, 6, 128, num_gpus=8)
+        assert mixtral.scaling_efficiency > blackmamba.scaling_efficiency
+        assert mixtral.scaling_efficiency > 0.97
+
+    def test_nvlink_beats_pcie_for_full_ft(self):
+        nvlink = DataParallelSimulator(A40, interconnect=NVLINK)
+        pcie = DataParallelSimulator(A40, interconnect=PCIE_GEN4)
+        fast = nvlink.estimate(BLACKMAMBA_2_8B, 6, 128, num_gpus=8)
+        slow = pcie.estimate(BLACKMAMBA_2_8B, 6, 128, num_gpus=8)
+        assert fast.queries_per_second > slow.queries_per_second
+
+    def test_invalid_gpu_count(self):
+        with pytest.raises(ValueError):
+            DataParallelSimulator(A40).estimate(MIXTRAL_8X7B, 4, 128, num_gpus=0)
+
+
+class TestMultiGPUCost:
+    def test_wall_clock_shrinks_dollars_roughly_flat(self):
+        """Perfect scaling keeps dollars constant; comm overhead adds a
+        premium — multi-GPU buys time, not money."""
+        sim = DataParallelSimulator(H100, interconnect=NVLINK)
+        one = sim.estimate(MIXTRAL_8X7B, 17, 150, num_gpus=1)
+        four = sim.estimate(MIXTRAL_8X7B, 17, 150, num_gpus=4)
+        cost_one = multi_gpu_cost_dollars(one, 14000, 10, 2.10)
+        cost_four = multi_gpu_cost_dollars(four, 14000, 10, 2.10)
+        assert cost_four == pytest.approx(cost_one, rel=0.1)
+        assert four.queries_per_second > 3 * one.queries_per_second
+
+    def test_zero_throughput_infinite_cost(self):
+        from repro.gpu.multigpu import MultiGPUEstimate
+
+        estimate = MultiGPUEstimate(1, 1, 1.0, 0.0, 0.0, 0.0)
+        assert multi_gpu_cost_dollars(estimate, 10, 1, 1.0) == float("inf")

@@ -1,0 +1,215 @@
+"""Tests for norm, conv, attention, RoPE, Mamba and Module plumbing."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.rope import apply_rope, rope_angles
+from repro.tensor import Tensor
+
+
+class TestModulePlumbing:
+    def test_named_parameters_recursive(self, rng):
+        att = nn.CausalSelfAttention(8, 2, rng=rng)
+        names = {n for n, _ in att.named_parameters()}
+        assert "q_proj.weight" in names and "o_proj.weight" in names
+
+    def test_freeze(self, rng):
+        layer = nn.Linear(4, 4, rng=rng)
+        layer.freeze()
+        assert all(not p.requires_grad for p in layer.parameters())
+
+    def test_train_eval_propagates(self, rng):
+        att = nn.CausalSelfAttention(8, 2, rng=rng)
+        att.eval()
+        assert not att.q_proj.training
+        att.train()
+        assert att.q_proj.training
+
+    def test_num_parameters(self, rng):
+        layer = nn.Linear(4, 3, bias=True, rng=rng)
+        assert layer.num_parameters() == 4 * 3 + 3
+
+    def test_state_dict_roundtrip(self, rng):
+        a = nn.Linear(4, 4, rng=rng)
+        b = nn.Linear(4, 4, rng=np.random.default_rng(777))
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(a.weight.data, b.weight.data)
+
+    def test_state_dict_mismatch_raises(self, rng):
+        a = nn.Linear(4, 4, rng=rng)
+        with pytest.raises(KeyError):
+            a.load_state_dict({"bogus": np.ones(1)})
+
+    def test_module_list(self, rng):
+        layers = nn.ModuleList([nn.Linear(2, 2, rng=rng) for _ in range(3)])
+        assert len(layers) == 3
+        assert sum(1 for _ in layers.parameters()) == 3
+
+
+class TestRMSNorm:
+    def test_unit_rms_output(self, rng):
+        norm = nn.RMSNorm(16)
+        out = norm(Tensor(rng.standard_normal((4, 16)) * 10))
+        rms = np.sqrt((out.data**2).mean(axis=-1))
+        np.testing.assert_allclose(rms, 1.0, rtol=1e-3)
+
+    def test_scale_invariance(self, rng):
+        norm = nn.RMSNorm(8)
+        x = rng.standard_normal((2, 8))
+        np.testing.assert_allclose(norm(Tensor(x)).data, norm(Tensor(5 * x)).data, rtol=1e-6)
+
+    def test_weight_scales_output(self, rng):
+        norm = nn.RMSNorm(8)
+        norm.weight.data[:] = 2.0
+        x = rng.standard_normal((2, 8))
+        base = x / np.sqrt((x**2).mean(-1, keepdims=True) + 1e-6)
+        np.testing.assert_allclose(norm(Tensor(x)).data, 2 * base, rtol=1e-5)
+
+    def test_gradient_flows(self, rng):
+        norm = nn.RMSNorm(8)
+        x = Tensor(rng.standard_normal((2, 8)), requires_grad=True)
+        norm(x).sum().backward()
+        assert x.grad is not None and norm.weight.grad is not None
+
+
+class TestCausalConv:
+    def test_causality(self, rng):
+        """Changing a future input must not affect past outputs."""
+        conv = nn.CausalDepthwiseConv1d(3, kernel_size=4, rng=rng)
+        x = rng.standard_normal((1, 10, 3))
+        base = conv(Tensor(x)).data.copy()
+        x2 = x.copy()
+        x2[0, 7] += 100.0
+        out = conv(Tensor(x2)).data
+        np.testing.assert_allclose(out[0, :7], base[0, :7], rtol=1e-10)
+        assert not np.allclose(out[0, 7:], base[0, 7:])
+
+    def test_depthwise_independence(self, rng):
+        conv = nn.CausalDepthwiseConv1d(2, kernel_size=2, bias=False, rng=rng)
+        x = np.zeros((1, 4, 2))
+        x[0, :, 0] = 1.0
+        out = conv(Tensor(x)).data
+        np.testing.assert_allclose(out[0, :, 1], 0.0, atol=1e-12)
+
+    def test_matches_manual_convolution(self, rng):
+        conv = nn.CausalDepthwiseConv1d(1, kernel_size=2, bias=False, rng=rng)
+        w = conv.weight.data[0]
+        x = np.array([[[1.0], [2.0], [3.0]]])
+        out = conv(Tensor(x)).data[0, :, 0]
+        expected = [w[1] * 1, w[0] * 1 + w[1] * 2, w[0] * 2 + w[1] * 3]
+        np.testing.assert_allclose(out, expected, rtol=1e-10)
+
+    def test_wrong_channels_raises(self, rng):
+        conv = nn.CausalDepthwiseConv1d(3, rng=rng)
+        with pytest.raises(ValueError):
+            conv(Tensor(np.ones((1, 5, 4))))
+
+
+class TestRoPE:
+    def test_angle_table_shapes(self):
+        cos, sin = rope_angles(10, 8)
+        assert cos.shape == (10, 8) and sin.shape == (10, 8)
+
+    def test_position_zero_is_identity(self, rng):
+        cos, sin = rope_angles(4, 8)
+        x = Tensor(rng.standard_normal((1, 1, 4, 8)))
+        out = apply_rope(x, cos, sin)
+        np.testing.assert_allclose(out.data[0, 0, 0], x.data[0, 0, 0], rtol=1e-12)
+
+    def test_norm_preserving(self, rng):
+        cos, sin = rope_angles(6, 8)
+        x = rng.standard_normal((1, 2, 6, 8))
+        out = apply_rope(Tensor(x), cos, sin).data
+        np.testing.assert_allclose(
+            np.linalg.norm(out, axis=-1), np.linalg.norm(x, axis=-1), rtol=1e-9
+        )
+
+    def test_relative_property_of_dot_products(self, rng):
+        """<rope(q, m), rope(k, n)> depends only on m - n."""
+        head_dim = 8
+        cos, sin = rope_angles(16, head_dim)
+        q = rng.standard_normal(head_dim)
+        k = rng.standard_normal(head_dim)
+
+        def dot(m, n):
+            qm = apply_rope(Tensor(q.reshape(1, 1, 1, -1)), cos[m : m + 1], sin[m : m + 1]).data
+            kn = apply_rope(Tensor(k.reshape(1, 1, 1, -1)), cos[n : n + 1], sin[n : n + 1]).data
+            return float((qm * kn).sum())
+
+        assert dot(3, 1) == pytest.approx(dot(10, 8), rel=1e-9)
+
+    def test_odd_head_dim_raises(self):
+        with pytest.raises(ValueError):
+            rope_angles(4, 7)
+
+
+class TestAttention:
+    def test_output_shape(self, rng):
+        att = nn.CausalSelfAttention(16, 4, num_kv_heads=2, rng=rng)
+        out = att(Tensor(rng.standard_normal((2, 6, 16))))
+        assert out.shape == (2, 6, 16)
+
+    def test_causality(self, rng):
+        att = nn.CausalSelfAttention(8, 2, rng=rng)
+        x = rng.standard_normal((1, 8, 8))
+        base = att(Tensor(x)).data.copy()
+        x2 = x.copy()
+        x2[0, 5] += 10.0
+        out = att(Tensor(x2)).data
+        np.testing.assert_allclose(out[0, :5], base[0, :5], atol=1e-8)
+        assert not np.allclose(out[0, 5:], base[0, 5:])
+
+    def test_invalid_head_config(self, rng):
+        with pytest.raises(ValueError):
+            nn.CausalSelfAttention(10, 3, rng=rng)
+        with pytest.raises(ValueError):
+            nn.CausalSelfAttention(12, 4, num_kv_heads=3, rng=rng)
+
+    def test_gqa_matches_mha_when_kv_repeated(self, rng):
+        """With kv weights replicated, GQA equals full MHA."""
+        mha = nn.CausalSelfAttention(8, 2, num_kv_heads=2, rng=np.random.default_rng(5))
+        gqa = nn.CausalSelfAttention(8, 2, num_kv_heads=1, rng=np.random.default_rng(5))
+        # Copy shared projections; tile kv head 0 of gqa into both mha heads.
+        mha.q_proj.weight.data = gqa.q_proj.weight.data.copy()
+        mha.o_proj.weight.data = gqa.o_proj.weight.data.copy()
+        mha.k_proj.weight.data = np.tile(gqa.k_proj.weight.data, (2, 1))
+        mha.v_proj.weight.data = np.tile(gqa.v_proj.weight.data, (2, 1))
+        x = Tensor(rng.standard_normal((1, 5, 8)))
+        np.testing.assert_allclose(mha(x).data, gqa(x).data, rtol=1e-9)
+
+    def test_gradients_flow(self, rng):
+        att = nn.CausalSelfAttention(8, 2, rng=rng)
+        x = Tensor(rng.standard_normal((2, 4, 8)), requires_grad=True)
+        (att(x) ** 2).sum().backward()
+        assert x.grad is not None
+        assert att.q_proj.weight.grad is not None
+
+
+class TestMamba:
+    def test_output_shape(self, rng):
+        mixer = nn.MambaMixer(8, state_dim=4, rng=rng)
+        out = mixer(Tensor(rng.standard_normal((2, 6, 8))))
+        assert out.shape == (2, 6, 8)
+
+    def test_causality(self, rng):
+        mixer = nn.MambaMixer(8, state_dim=4, rng=rng)
+        x = rng.standard_normal((1, 8, 8))
+        base = mixer(Tensor(x)).data.copy()
+        x2 = x.copy()
+        x2[0, 6] += 5.0
+        out = mixer(Tensor(x2)).data
+        np.testing.assert_allclose(out[0, :6], base[0, :6], atol=1e-8)
+
+    def test_gradients_reach_all_parameters(self, rng):
+        mixer = nn.MambaMixer(8, state_dim=4, rng=rng)
+        x = Tensor(rng.standard_normal((2, 5, 8)), requires_grad=True)
+        (mixer(x) ** 2).sum().backward()
+        for name, param in mixer.named_parameters():
+            assert param.grad is not None, f"no grad for {name}"
+
+    def test_state_decay_is_stable(self, rng):
+        """A(-exp(a_log)) keeps decay in (0, 1): long inputs stay finite."""
+        mixer = nn.MambaMixer(4, state_dim=2, rng=rng)
+        out = mixer(Tensor(rng.standard_normal((1, 200, 4))))
+        assert np.all(np.isfinite(out.data))

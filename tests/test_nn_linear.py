@@ -1,0 +1,100 @@
+"""Tests for Linear / QuantizedLinear / LoRALinear."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+
+
+class TestLinear:
+    def test_shapes(self, rng):
+        layer = nn.Linear(5, 7, rng=rng)
+        out = layer(Tensor(rng.standard_normal((3, 5))))
+        assert out.shape == (3, 7)
+
+    def test_bias(self, rng):
+        layer = nn.Linear(4, 2, bias=True, rng=rng)
+        layer.weight.data[:] = 0.0
+        layer.bias.data[:] = [1.0, -1.0]
+        out = layer(Tensor(rng.standard_normal((2, 4))))
+        np.testing.assert_allclose(out.data, [[1.0, -1.0]] * 2)
+
+    def test_matches_manual_matmul(self, rng):
+        layer = nn.Linear(4, 3, rng=rng)
+        x = rng.standard_normal((2, 4))
+        np.testing.assert_allclose(layer(Tensor(x)).data, x @ layer.weight.data.T)
+
+    def test_batched_3d_input(self, rng):
+        layer = nn.Linear(4, 3, rng=rng)
+        out = layer(Tensor(rng.standard_normal((2, 5, 4))))
+        assert out.shape == (2, 5, 3)
+
+
+class TestQuantizedLinear:
+    def test_close_to_dense_forward(self, rng):
+        dense = nn.Linear(16, 8, rng=rng)
+        quantized = nn.QuantizedLinear.from_linear(dense)
+        x = Tensor(rng.standard_normal((4, 16)))
+        np.testing.assert_allclose(quantized(x).data, dense(x).data, atol=0.5, rtol=0.3)
+
+    def test_has_no_trainable_parameters(self, rng):
+        quantized = nn.QuantizedLinear.from_linear(nn.Linear(8, 8, rng=rng))
+        assert list(quantized.parameters()) == []
+
+    def test_gradient_flows_to_input(self, rng):
+        quantized = nn.QuantizedLinear.from_linear(nn.Linear(8, 4, rng=rng))
+        x = Tensor(rng.standard_normal((2, 8)), requires_grad=True)
+        quantized(x).sum().backward()
+        assert x.grad is not None
+
+    def test_counts_dequant_calls(self, rng):
+        quantized = nn.QuantizedLinear.from_linear(nn.Linear(8, 4, rng=rng))
+        x = Tensor(rng.standard_normal((2, 8)))
+        quantized(x)
+        quantized(x)
+        assert quantized.dequant_calls == 2
+
+    def test_rejects_bias(self, rng):
+        with pytest.raises(ValueError):
+            nn.QuantizedLinear.from_linear(nn.Linear(4, 4, bias=True, rng=rng))
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            nn.QuantizedLinear(4, 4, np.ones((3, 4)))
+
+
+class TestLoRALinear:
+    def test_noop_at_initialization(self, rng):
+        base = nn.Linear(6, 4, rng=rng)
+        expected = base(Tensor(np.eye(6)))
+        lora = nn.LoRALinear(base, rank=2, rng=rng)
+        np.testing.assert_allclose(lora(Tensor(np.eye(6))).data, expected.data)
+
+    def test_base_frozen_adapters_trainable(self, rng):
+        lora = nn.LoRALinear(nn.Linear(6, 4, rng=rng), rank=2, rng=rng)
+        trainable = {n for n, p in lora.named_parameters() if p.requires_grad}
+        assert trainable == {"lora_a", "lora_b"}
+
+    def test_adapter_param_count(self, rng):
+        lora = nn.LoRALinear(nn.Linear(6, 4, rng=rng), rank=3, rng=rng)
+        assert lora.num_adapter_parameters() == 3 * 6 + 4 * 3
+
+    def test_merged_weight_matches_forward(self, rng):
+        lora = nn.LoRALinear(nn.Linear(5, 3, rng=rng), rank=2, rng=rng)
+        lora.lora_b.data[:] = rng.standard_normal(lora.lora_b.shape)
+        x = rng.standard_normal((2, 5))
+        np.testing.assert_allclose(
+            lora(Tensor(x)).data, x @ lora.merged_weight().T, rtol=1e-9
+        )
+
+    def test_invalid_rank(self, rng):
+        with pytest.raises(ValueError):
+            nn.LoRALinear(nn.Linear(4, 4, rng=rng), rank=0)
+
+    def test_over_quantized_base(self, rng):
+        base = nn.QuantizedLinear.from_linear(nn.Linear(8, 4, rng=rng))
+        lora = nn.LoRALinear(base, rank=2, rng=rng)
+        x = Tensor(rng.standard_normal((2, 8)), requires_grad=True)
+        lora(x).sum().backward()
+        assert lora.lora_a.grad is not None or lora.lora_b.grad is not None

@@ -1,0 +1,77 @@
+"""Tests for the causal-LM cross-entropy loss."""
+
+import numpy as np
+import pytest
+
+from repro.nn import IGNORE_INDEX, cross_entropy, token_accuracy
+from repro.tensor import Tensor
+
+
+class TestCrossEntropy:
+    def test_matches_manual_computation(self, rng):
+        logits = rng.standard_normal((4, 5))
+        targets = np.array([0, 2, 4, 1])
+        loss = cross_entropy(Tensor(logits), targets).item()
+        shifted = logits - logits.max(-1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(-1, keepdims=True))
+        expected = -log_probs[np.arange(4), targets].mean()
+        assert loss == pytest.approx(expected, rel=1e-9)
+
+    def test_uniform_logits_give_log_vocab(self):
+        logits = np.zeros((3, 10))
+        loss = cross_entropy(Tensor(logits), np.array([1, 2, 3])).item()
+        assert loss == pytest.approx(np.log(10), rel=1e-9)
+
+    def test_ignore_index_masks_positions(self, rng):
+        logits = rng.standard_normal((4, 5))
+        targets = np.array([0, IGNORE_INDEX, IGNORE_INDEX, 1])
+        loss_masked = cross_entropy(Tensor(logits), targets).item()
+        loss_pair = cross_entropy(Tensor(logits[[0, 3]]), np.array([0, 1])).item()
+        assert loss_masked == pytest.approx(loss_pair, rel=1e-9)
+
+    def test_3d_input_flattened(self, rng):
+        logits = rng.standard_normal((2, 3, 5))
+        targets = rng.integers(0, 5, (2, 3))
+        loss3 = cross_entropy(Tensor(logits), targets).item()
+        loss2 = cross_entropy(Tensor(logits.reshape(6, 5)), targets.reshape(6)).item()
+        assert loss3 == pytest.approx(loss2, rel=1e-12)
+
+    def test_all_masked_raises(self, rng):
+        logits = rng.standard_normal((2, 5))
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(logits), np.full(2, IGNORE_INDEX))
+
+    def test_wrong_rank_raises(self, rng):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(rng.standard_normal(5)), np.array([1]))
+
+    def test_gradient_is_softmax_minus_onehot(self, rng):
+        logits = Tensor(rng.standard_normal((2, 4)), requires_grad=True)
+        targets = np.array([1, 3])
+        cross_entropy(logits, targets).backward()
+        shifted = logits.data - logits.data.max(-1, keepdims=True)
+        probs = np.exp(shifted) / np.exp(shifted).sum(-1, keepdims=True)
+        onehot = np.eye(4)[targets]
+        np.testing.assert_allclose(logits.grad, (probs - onehot) / 2, rtol=1e-8)
+
+    def test_perfect_prediction_low_loss(self):
+        logits = np.full((2, 4), -100.0)
+        logits[0, 1] = 100.0
+        logits[1, 2] = 100.0
+        loss = cross_entropy(Tensor(logits), np.array([1, 2])).item()
+        assert loss < 1e-6
+
+
+class TestTokenAccuracy:
+    def test_all_correct(self):
+        logits = np.eye(4)[np.array([0, 1, 2])] * 10
+        assert token_accuracy(Tensor(logits), np.array([0, 1, 2])) == 1.0
+
+    def test_ignores_masked(self):
+        logits = np.eye(3)[np.array([0, 1])] * 10
+        targets = np.array([0, IGNORE_INDEX])
+        assert token_accuracy(Tensor(logits), targets) == 1.0
+
+    def test_all_masked_returns_zero(self):
+        logits = np.zeros((2, 3))
+        assert token_accuracy(Tensor(logits), np.full(2, IGNORE_INDEX)) == 0.0

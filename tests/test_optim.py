@@ -1,0 +1,119 @@
+"""Tests for SGD, AdamW and LR schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter
+from repro.optim import AdamW, ConstantLR, SGD, WarmupCosineLR
+
+
+def make_param(value=1.0, grad=0.5):
+    p = Parameter(np.array([value]))
+    p.grad = np.array([grad])
+    return p
+
+
+class TestSGD:
+    def test_basic_step(self):
+        p = make_param()
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [1.0 - 0.1 * 0.5])
+
+    def test_momentum_accumulates(self):
+        p = make_param()
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        opt.step()
+        p.grad = np.array([0.5])
+        opt.step()
+        # v1 = 0.5; v2 = 0.9*0.5 + 0.5 = 0.95; total update = 0.1*(0.5+0.95)
+        np.testing.assert_allclose(p.data, [1.0 - 0.1 * (0.5 + 0.95)])
+
+    def test_skips_none_grad(self):
+        p = Parameter(np.array([1.0]))
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([make_param()], lr=0.1, momentum=1.5)
+
+
+class TestAdamW:
+    def test_first_step_magnitude_is_lr(self):
+        """With bias correction, step 1 moves by ~lr regardless of grad scale."""
+        p = make_param(grad=7.3)
+        AdamW([p], lr=0.01).step()
+        assert abs(1.0 - p.data[0]) == pytest.approx(0.01, rel=1e-4)
+
+    def test_matches_reference_two_steps(self):
+        p = make_param(value=1.0, grad=0.5)
+        opt = AdamW([p], lr=0.1, betas=(0.9, 0.999), eps=1e-8)
+        opt.step()
+        p.grad = np.array([0.2])
+        opt.step()
+        # Reference computation.
+        m = 0.1 * 0.5
+        v = 0.001 * 0.25
+        x = 1.0 - 0.1 * (m / 0.1) / (np.sqrt(v / 0.001) + 1e-8)
+        m = 0.9 * m + 0.1 * 0.2
+        v = 0.999 * v + 0.001 * 0.04
+        x -= 0.1 * (m / (1 - 0.9**2)) / (np.sqrt(v / (1 - 0.999**2)) + 1e-8)
+        np.testing.assert_allclose(p.data, [x], rtol=1e-9)
+
+    def test_weight_decay_decoupled(self):
+        p = Parameter(np.array([2.0]))
+        p.grad = np.array([0.0])
+        opt = AdamW([p], lr=0.1, weight_decay=0.5)
+        opt.step()
+        # Gradient is zero, so only decay applies: 2 * (1 - 0.1*0.5)
+        np.testing.assert_allclose(p.data, [2.0 * 0.95])
+
+    def test_only_trainable_params_collected(self):
+        frozen = Parameter(np.ones(3), requires_grad=False)
+        live = make_param()
+        opt = AdamW([frozen, live], lr=0.1)
+        assert opt.num_optimized_parameters() == 1
+
+    def test_no_trainable_raises(self):
+        frozen = Parameter(np.ones(3), requires_grad=False)
+        with pytest.raises(ValueError):
+            AdamW([frozen], lr=0.1)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            AdamW([make_param()], lr=0.0)
+
+    def test_state_bytes(self):
+        p = Parameter(np.ones(10))
+        p.grad = np.ones(10)
+        opt = AdamW([p], lr=0.1)
+        assert opt.state_bytes() == 2 * 4 * 10
+
+    def test_zero_grad(self):
+        p = make_param()
+        opt = AdamW([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None
+
+
+class TestSchedulers:
+    def test_constant(self):
+        opt = AdamW([make_param()], lr=0.01)
+        sched = ConstantLR(opt)
+        for _ in range(5):
+            assert sched.step() == pytest.approx(0.01)
+
+    def test_warmup_then_decay(self):
+        opt = AdamW([make_param()], lr=1.0)
+        sched = WarmupCosineLR(opt, warmup_steps=10, total_steps=110)
+        warm = [sched.step() for _ in range(9)]
+        assert warm == sorted(warm)  # increasing during warmup
+        assert warm[-1] < 1.0
+        for _ in range(101):
+            last = sched.step()
+        assert last == pytest.approx(0.0, abs=1e-6)
+
+    def test_invalid_total_steps(self):
+        opt = AdamW([make_param()], lr=1.0)
+        with pytest.raises(ValueError):
+            WarmupCosineLR(opt, warmup_steps=10, total_steps=5)

@@ -1,0 +1,57 @@
+"""Tests for the Nsight-style report rendering."""
+
+import pytest
+
+from repro.gpu import A40, GPUSimulator
+from repro.models import MIXTRAL_8X7B
+from repro.profiling import ProfileReport, compare_traces
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return GPUSimulator(A40).simulate_step(MIXTRAL_8X7B, 4, 128, dense=False, label="unit")
+
+
+class TestProfileReport:
+    def test_stage_table_contains_all_stages(self, trace):
+        table = ProfileReport(trace).stage_table()
+        for stage in ("forward", "backward", "optimizer"):
+            assert stage in table
+
+    def test_layer_table_sorted_by_time(self, trace):
+        table = ProfileReport(trace).layer_table()
+        lines = [l for l in table.splitlines()[1:] if l.strip()]
+        assert "moe" in lines[0]  # biggest layer first
+
+    def test_kernel_table_has_fig6_names(self, trace):
+        table = ProfileReport(trace).kernel_table("moe")
+        for name in ("matmul(w1)", "w1_dequant", "topk", "time_weighted"):
+            assert name in table
+
+    def test_full_report_combines_sections(self, trace):
+        report = ProfileReport(trace).full_report()
+        assert "Stage breakdown" in report
+        assert "Layer breakdown" in report
+        assert "Kernel breakdown" in report
+
+    def test_shares_sum_to_100(self, trace):
+        table = ProfileReport(trace).stage_table()
+        shares = [float(part.split("%")[0].split()[-1]) for part in table.splitlines()[1:]]
+        assert sum(shares) == pytest.approx(100.0, abs=0.3)
+
+
+class TestCompareTraces:
+    def test_lists_each_label(self):
+        sim = GPUSimulator(A40)
+        traces = [
+            sim.simulate_step(MIXTRAL_8X7B, b, 128, dense=False, label=f"bsz={b}")
+            for b in (1, 4)
+        ]
+        text = compare_traces(traces)
+        assert "bsz=1" in text and "bsz=4" in text
+
+    def test_callable_metric(self):
+        sim = GPUSimulator(A40)
+        traces = [sim.simulate_step(MIXTRAL_8X7B, 1, 128, label="x")]
+        text = compare_traces(traces, metric="moe_fraction")
+        assert "x" in text

@@ -1,0 +1,19 @@
+"""Tests for the experiment report runner."""
+
+from repro.experiments.report import TRAINING_EXPERIMENTS, run_report
+
+
+class TestReportRunner:
+    def test_fast_report_covers_all_artifacts(self):
+        text = run_report(include_training=False)
+        for key in ("table1", "table3", "fig8", "fig13", "fig14", "table4", "seqlen"):
+            assert f"== {key}" in text
+
+    def test_training_experiments_skipped_by_default(self):
+        text = run_report(include_training=False)
+        for key in TRAINING_EXPERIMENTS:
+            assert f"== {key}: skipped" in text
+
+    def test_match_summaries_present(self):
+        text = run_report(include_training=False)
+        assert "paper-comparable rows within 50%" in text

@@ -1,0 +1,293 @@
+"""Gradient correctness of every op, checked against finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, no_grad, ops
+
+
+def check_grad(build, arrays, tol=1e-4, eps=1e-6):
+    """Compare autograd gradients of ``build(*tensors).sum()`` against
+    central finite differences at a few random positions of each input."""
+    tensors = [Tensor(a.copy(), requires_grad=True) for a in arrays]
+    out = build(*tensors)
+    loss = (out * out).sum()
+    loss.backward()
+
+    rng = np.random.default_rng(0)
+    for t in tensors:
+        flat_indices = rng.choice(t.size, size=min(4, t.size), replace=False)
+        for flat in flat_indices:
+            index = np.unravel_index(flat, t.shape)
+            original = t.data[index]
+
+            def value_at(v):
+                t.data[index] = v
+                with no_grad():
+                    o = build(*tensors)
+                    result = (o * o).sum().item()
+                t.data[index] = original
+                return result
+
+            numeric = (value_at(original + eps) - value_at(original - eps)) / (2 * eps)
+            assert t.grad[index] == pytest.approx(numeric, abs=tol, rel=tol), (
+                f"grad mismatch at {index}: {t.grad[index]} vs {numeric}"
+            )
+
+
+RNG = np.random.default_rng(99)
+A23 = RNG.standard_normal((2, 3))
+B23 = RNG.standard_normal((2, 3))
+POS23 = RNG.uniform(0.5, 2.0, (2, 3))
+
+
+class TestBinaryOps:
+    def test_add(self):
+        check_grad(lambda a, b: a + b, [A23, B23])
+
+    def test_add_broadcast(self):
+        check_grad(lambda a, b: a + b, [A23, RNG.standard_normal((3,))])
+
+    def test_sub(self):
+        check_grad(lambda a, b: a - b, [A23, B23])
+
+    def test_mul(self):
+        check_grad(lambda a, b: a * b, [A23, B23])
+
+    def test_mul_broadcast_column(self):
+        check_grad(lambda a, b: a * b, [A23, RNG.standard_normal((2, 1))])
+
+    def test_div(self):
+        check_grad(lambda a, b: a / b, [A23, POS23])
+
+    def test_scalar_rhs(self):
+        check_grad(lambda a: a * 3.0 + 1.0, [A23])
+
+    def test_scalar_lhs(self):
+        check_grad(lambda a: 2.0 - a, [A23])
+
+    def test_rdiv(self):
+        check_grad(lambda a: 1.0 / a, [POS23])
+
+    def test_pow(self):
+        check_grad(lambda a: a**3, [POS23])
+
+    def test_neg(self):
+        check_grad(lambda a: -a, [A23])
+
+
+class TestMatmul:
+    def test_2d(self):
+        check_grad(lambda a, b: a @ b, [RNG.standard_normal((3, 4)), RNG.standard_normal((4, 2))])
+
+    def test_batched(self):
+        check_grad(
+            lambda a, b: a @ b,
+            [RNG.standard_normal((2, 3, 4)), RNG.standard_normal((2, 4, 2))],
+        )
+
+    def test_broadcast_batch(self):
+        check_grad(
+            lambda a, b: a @ b,
+            [RNG.standard_normal((2, 3, 4)), RNG.standard_normal((4, 2))],
+        )
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            ops.matmul(Tensor(np.ones(3)), Tensor(np.ones((3, 2))))
+
+
+class TestUnaryOps:
+    @pytest.mark.parametrize(
+        "fn",
+        [ops.exp, ops.tanh, ops.sigmoid, ops.relu, ops.gelu, ops.silu, ops.softplus, ops.abs],
+        ids=["exp", "tanh", "sigmoid", "relu", "gelu", "silu", "softplus", "abs"],
+    )
+    def test_elementwise_grads(self, fn):
+        # Shift away from relu/abs kinks for finite differences.
+        data = RNG.standard_normal((2, 3)) + 0.3
+        check_grad(lambda a: fn(a), [data])
+
+    def test_log(self):
+        check_grad(lambda a: ops.log(a), [POS23])
+
+    def test_sqrt(self):
+        check_grad(lambda a: ops.sqrt(a), [POS23])
+
+    def test_sigmoid_range(self):
+        out = ops.sigmoid(Tensor(RNG.standard_normal((50,)) * 5))
+        assert np.all(out.data > 0) and np.all(out.data < 1)
+
+    def test_gelu_matches_reference_at_zero(self):
+        assert ops.gelu(Tensor([0.0])).data[0] == pytest.approx(0.0)
+
+    def test_silu_matches_x_times_sigmoid(self):
+        x = RNG.standard_normal((10,))
+        np.testing.assert_allclose(
+            ops.silu(Tensor(x)).data, x / (1 + np.exp(-x)), rtol=1e-12
+        )
+
+
+class TestSoftmaxAndReductions:
+    def test_softmax_rows_sum_to_one(self):
+        out = ops.softmax(Tensor(RNG.standard_normal((4, 7))), axis=-1)
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(4), rtol=1e-12)
+
+    def test_softmax_grad(self):
+        check_grad(lambda a: ops.softmax(a, axis=-1), [A23])
+
+    def test_softmax_stability_large_values(self):
+        out = ops.softmax(Tensor(np.array([[1000.0, 1000.0]])), axis=-1)
+        np.testing.assert_allclose(out.data, [[0.5, 0.5]])
+
+    def test_log_softmax_grad(self):
+        check_grad(lambda a: ops.log_softmax(a, axis=-1), [A23])
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = Tensor(RNG.standard_normal((3, 5)))
+        np.testing.assert_allclose(
+            ops.log_softmax(x).data, np.log(ops.softmax(x).data), rtol=1e-10
+        )
+
+    def test_sum_axis_grads(self):
+        check_grad(lambda a: ops.sum(a, axis=0), [A23])
+        check_grad(lambda a: ops.sum(a, axis=1, keepdims=True), [A23])
+        check_grad(lambda a: ops.sum(a), [A23])
+
+    def test_mean_grads(self):
+        check_grad(lambda a: ops.mean(a, axis=-1), [A23])
+        check_grad(lambda a: ops.mean(a), [A23])
+
+    def test_mean_value(self):
+        assert ops.mean(Tensor([1.0, 2.0, 3.0])).item() == pytest.approx(2.0)
+
+    def test_max_grad_routes_to_argmax(self):
+        a = Tensor(np.array([[1.0, 5.0, 2.0]]), requires_grad=True)
+        ops.max(a, axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, [[0.0, 1.0, 0.0]])
+
+    def test_max_ties_split_evenly(self):
+        a = Tensor(np.array([[3.0, 3.0]]), requires_grad=True)
+        ops.max(a, axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, [[0.5, 0.5]])
+
+
+class TestShapeOps:
+    def test_reshape_grad(self):
+        check_grad(lambda a: ops.reshape(a, (3, 2)), [A23])
+
+    def test_transpose_grad(self):
+        check_grad(lambda a: ops.transpose(a), [A23])
+
+    def test_transpose_axes_grad(self):
+        check_grad(lambda a: ops.transpose(a, (1, 0, 2)), [RNG.standard_normal((2, 3, 4))])
+
+    def test_getitem_slice_grad(self):
+        check_grad(lambda a: a[0:1, 1:], [A23])
+
+    def test_getitem_int_array(self):
+        a = Tensor(RNG.standard_normal((5, 3)), requires_grad=True)
+        idx = np.array([0, 2, 2])
+        out = a[idx]
+        out.sum().backward()
+        assert a.grad[2, 0] == pytest.approx(2.0)  # row 2 used twice
+        assert a.grad[1, 0] == pytest.approx(0.0)
+
+    def test_pad_grad(self):
+        check_grad(lambda a: ops.pad(a, [(1, 0), (0, 2)]), [A23])
+
+    def test_concat_grad(self):
+        check_grad(lambda a, b: ops.concat([a, b], axis=1), [A23, B23])
+
+    def test_stack_shapes(self):
+        out = ops.stack([Tensor(A23), Tensor(B23)], axis=0)
+        assert out.shape == (2, 2, 3)
+
+
+class TestGatherScatter:
+    def test_embedding_grad_scatter_adds(self):
+        w = Tensor(RNG.standard_normal((6, 4)), requires_grad=True)
+        ids = np.array([[1, 1], [3, 0]])
+        ops.embedding(w, ids).sum().backward()
+        assert w.grad[1].sum() == pytest.approx(8.0)  # used twice x dim 4
+        assert w.grad[2].sum() == pytest.approx(0.0)
+
+    def test_take_rows_grad(self):
+        a = Tensor(RNG.standard_normal((5, 3)), requires_grad=True)
+        ops.take_rows(a, np.array([4, 4, 1])).sum().backward()
+        assert a.grad[4, 0] == pytest.approx(2.0)
+
+    def test_scatter_rows_forward_accumulates(self):
+        src = Tensor(np.ones((3, 2)))
+        out = ops.scatter_rows(src, np.array([0, 0, 2]), 4)
+        np.testing.assert_allclose(out.data, [[2, 2], [0, 0], [1, 1], [0, 0]])
+
+    def test_scatter_rows_grad(self):
+        src = Tensor(np.ones((3, 2)), requires_grad=True)
+        out = ops.scatter_rows(src, np.array([0, 0, 2]), 4)
+        (out * Tensor(np.arange(8.0).reshape(4, 2))).sum().backward()
+        np.testing.assert_allclose(src.grad, [[0, 1], [0, 1], [4, 5]])
+
+    def test_take_then_scatter_roundtrip_identity_grad(self):
+        a = Tensor(RNG.standard_normal((4, 2)), requires_grad=True)
+        idx = np.array([0, 1, 2, 3])
+        out = ops.scatter_rows(ops.take_rows(a, idx), idx, 4)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((4, 2)))
+
+
+class TestWhereDropout:
+    def test_where_selects(self):
+        cond = np.array([[True, False, True]])
+        out = ops.where(cond, Tensor([[1.0, 1.0, 1.0]]), Tensor([[2.0, 2.0, 2.0]]))
+        np.testing.assert_allclose(out.data, [[1.0, 2.0, 1.0]])
+
+    def test_where_grad_masks(self):
+        a = Tensor(np.ones((1, 3)), requires_grad=True)
+        b = Tensor(np.ones((1, 3)), requires_grad=True)
+        cond = np.array([[True, False, True]])
+        ops.where(cond, a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, [[1.0, 0.0, 1.0]])
+        np.testing.assert_allclose(b.grad, [[0.0, 1.0, 0.0]])
+
+    def test_dropout_eval_is_identity(self):
+        x = Tensor(RNG.standard_normal((10,)))
+        out = ops.dropout(x, 0.5, np.random.default_rng(0), training=False)
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_dropout_scales_survivors(self):
+        x = Tensor(np.ones(10000))
+        out = ops.dropout(x, 0.25, np.random.default_rng(0), training=True)
+        kept = out.data[out.data > 0]
+        np.testing.assert_allclose(kept, 1.0 / 0.75)
+        assert abs(out.data.mean() - 1.0) < 0.05
+
+    def test_dropout_invalid_p(self):
+        with pytest.raises(ValueError):
+            ops.dropout(Tensor([1.0]), 1.0, np.random.default_rng(0))
+
+
+class TestScanDiag:
+    def test_matches_naive_recurrence(self):
+        decay = RNG.uniform(0.1, 0.9, (2, 6, 3))
+        x = RNG.standard_normal((2, 6, 3))
+        out = ops.scan_diag(Tensor(decay), Tensor(x)).data
+        state = np.zeros((2, 3))
+        for t in range(6):
+            state = decay[:, t] * state + x[:, t]
+            np.testing.assert_allclose(out[:, t], state, rtol=1e-12)
+
+    def test_grads(self):
+        check_grad(
+            lambda d, x: ops.scan_diag(d, x),
+            [RNG.uniform(0.2, 0.8, (2, 5, 3)), RNG.standard_normal((2, 5, 3))],
+        )
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ops.scan_diag(Tensor(np.ones((1, 2, 3))), Tensor(np.ones((1, 2, 4))))
+
+    def test_zero_decay_is_identity(self):
+        x = RNG.standard_normal((1, 4, 2))
+        out = ops.scan_diag(Tensor(np.zeros_like(x)), Tensor(x))
+        np.testing.assert_allclose(out.data, x)

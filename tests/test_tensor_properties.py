@@ -1,0 +1,111 @@
+"""Property-based tests (hypothesis) on autograd engine invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.tensor import Tensor, ops, unbroadcast
+
+finite = st.floats(min_value=-10, max_value=10, allow_nan=False, allow_infinity=False)
+small_shape = st.tuples(st.integers(1, 4), st.integers(1, 4))
+
+
+def small_array(shape=None):
+    return arrays(np.float64, shape if shape is not None else small_shape, elements=finite)
+
+
+@st.composite
+def array_pair(draw):
+    """Two arrays sharing one shape."""
+    shape = draw(small_shape)
+    x = draw(arrays(np.float64, shape, elements=finite))
+    y = draw(arrays(np.float64, shape, elements=finite))
+    return x, y
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_array(), st.floats(min_value=-3, max_value=3, allow_nan=False))
+def test_backward_linearity_in_output_grad(data, scale):
+    """grad(scale * L) == scale * grad(L)."""
+    a = Tensor(data, requires_grad=True)
+    (a * a).sum().backward()
+    base = a.grad.copy()
+    a.zero_grad()
+    ((a * a).sum() * scale).backward()
+    np.testing.assert_allclose(a.grad, scale * base, rtol=1e-8, atol=1e-10)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_array())
+def test_softmax_is_probability_distribution(data):
+    out = ops.softmax(Tensor(data), axis=-1).data
+    assert np.all(out >= 0)
+    np.testing.assert_allclose(out.sum(axis=-1), 1.0, rtol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_array())
+def test_softmax_shift_invariance(data):
+    a = ops.softmax(Tensor(data), axis=-1).data
+    b = ops.softmax(Tensor(data + 7.5), axis=-1).data
+    np.testing.assert_allclose(a, b, rtol=1e-9, atol=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(array_pair())
+def test_add_commutes(pair):
+    x, y = pair
+    np.testing.assert_allclose((Tensor(x) + Tensor(y)).data, (Tensor(y) + Tensor(x)).data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_array())
+def test_double_negation(x):
+    np.testing.assert_allclose((-(-Tensor(x))).data, x)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(np.float64, st.tuples(st.integers(1, 3), st.integers(1, 5), st.integers(1, 3)),
+           elements=st.floats(min_value=0.0, max_value=0.95)),
+)
+def test_scan_bounded_by_geometric_sum(decay):
+    """With |x| <= 1 and decay in [0, 1), |h_t| <= 1/(1-max_decay)."""
+    x = np.ones_like(decay)
+    out = ops.scan_diag(Tensor(decay), Tensor(x)).data
+    bound = 1.0 / (1.0 - decay.max() + 1e-12)
+    assert np.all(np.abs(out) <= bound + 1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_array())
+def test_unbroadcast_then_sum_preserves_total(grad):
+    """Summed gradient mass is preserved when unbroadcasting to (1, n)."""
+    target_shape = (1, grad.shape[1])
+    reduced = unbroadcast(grad.copy(), target_shape)
+    np.testing.assert_allclose(reduced.sum(), grad.sum(), rtol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(array_pair())
+def test_mul_gradient_symmetry(pair):
+    """d(x*y)/dx == y and d(x*y)/dy == x under a sum loss."""
+    x, y = pair
+    a = Tensor(x, requires_grad=True)
+    b = Tensor(y, requires_grad=True)
+    (a * b).sum().backward()
+    np.testing.assert_allclose(a.grad, y, rtol=1e-9, atol=1e-12)
+    np.testing.assert_allclose(b.grad, x, rtol=1e-9, atol=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 6), st.integers(1, 6))
+def test_scatter_take_adjointness(n_rows, n_take):
+    """<take(A, idx), B> == <A, scatter(B, idx)> (gather/scatter are adjoint)."""
+    rng = np.random.default_rng(n_rows * 7 + n_take)
+    a = rng.standard_normal((n_rows, 3))
+    b = rng.standard_normal((n_take, 3))
+    idx = rng.integers(0, n_rows, size=n_take)
+    lhs = (ops.take_rows(Tensor(a), idx).data * b).sum()
+    rhs = (a * ops.scatter_rows(Tensor(b), idx, n_rows).data).sum()
+    assert abs(lhs - rhs) < 1e-9
