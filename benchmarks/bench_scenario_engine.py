@@ -1,0 +1,68 @@
+"""Scenario-engine benchmark: fig8 + table4 sweeps, cold vs warm cache.
+
+Times one cold pass (empty cache — every scenario simulated) and one warm
+pass (same cache — every lookup a hit) over the two heaviest sweep
+consumers, and writes ``BENCH_scenario_engine.json`` at the repo root so
+the perf trajectory has a tracked data point. The warm pass must be at
+least 5x faster and perform zero additional simulations.
+
+Run standalone:  PYTHONPATH=src python benchmarks/bench_scenario_engine.py
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.experiments import fig8_throughput, table4_cost
+from repro.scenarios import SimulationCache
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_scenario_engine.json"
+
+
+def _run_suite(cache: SimulationCache) -> None:
+    fig8_throughput.run(cache=cache)
+    table4_cost.run(cache=cache)
+
+
+def measure() -> dict:
+    cache = SimulationCache()
+
+    start = time.perf_counter()
+    _run_suite(cache)
+    cold_seconds = time.perf_counter() - start
+    cold_stats = cache.stats()
+
+    start = time.perf_counter()
+    _run_suite(cache)
+    warm_seconds = time.perf_counter() - start
+    warm_stats = cache.stats()
+
+    payload = {
+        "benchmark": "scenario_engine_fig8_table4",
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "speedup": cold_seconds / warm_seconds if warm_seconds > 0 else float("inf"),
+        "cold_cache": {"hits": cold_stats.hits, "misses": cold_stats.misses,
+                       "entries": cold_stats.entries},
+        "warm_cache": {"hits": warm_stats.hits, "misses": warm_stats.misses,
+                       "entries": warm_stats.entries},
+    }
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def test_scenario_engine_cold_vs_warm():
+    payload = measure()
+    print(f"\ncold {payload['cold_seconds']:.3f}s, warm {payload['warm_seconds']:.3f}s, "
+          f"speedup {payload['speedup']:.1f}x -> {ARTIFACT.name}")
+    # Warm pass re-simulated nothing...
+    assert payload["warm_cache"]["misses"] == payload["cold_cache"]["misses"]
+    assert payload["warm_cache"]["hits"] > payload["cold_cache"]["hits"]
+    # ...and the acceptance bar: warm is at least 5x faster than cold.
+    assert payload["speedup"] >= 5.0, payload
+
+
+if __name__ == "__main__":
+    print(json.dumps(measure(), indent=2))

@@ -16,6 +16,17 @@ import os
 
 import pytest
 
+from repro.scenarios import reset_default_cache
+
+
+@pytest.fixture(autouse=True)
+def fresh_scenario_cache():
+    """Benchmarks time *cold* runs: reset the process-global simulation
+    cache before each one so timings don't depend on collection order
+    (experiments fall back to the shared default cache)."""
+    reset_default_cache()
+    yield
+
 
 def experiment_scale() -> str:
     return os.environ.get("REPRO_SCALE", "smoke")

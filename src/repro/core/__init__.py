@@ -9,7 +9,11 @@
 
 from .batchsize import BatchSizeModel, BatchSizeObservation, PAPER_BATCH_COEFFICIENTS
 from .cost import CostEstimate, FineTuningCostModel, dataset_num_queries
-from .fitting import collect_batch_size_observations, collect_throughput_observations
+from .fitting import (
+    collect_batch_size_observations,
+    collect_throughput_observations,
+    observations_from_sweep,
+)
 from .throughput import ThroughputModel, ThroughputObservation, fit_dense_sparse
 
 __all__ = [
@@ -24,4 +28,5 @@ __all__ = [
     "collect_throughput_observations",
     "dataset_num_queries",
     "fit_dense_sparse",
+    "observations_from_sweep",
 ]

@@ -13,14 +13,14 @@ The pipeline estimates, for a model + dataset + GPU:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
 from ..cloud.pricing import DEFAULT_CATALOG, PriceCatalog
 from ..data.registry import DATASET_STATS
-from ..gpu.simulator import GPUSimulator
 from ..gpu.specs import GPUSpec
 from ..memory.estimator import EFFECTIVE_SEQ_LEN, max_batch_size
 from ..models.config import BlackMambaConfig, MixtralConfig
+from ..scenarios import Scenario, SimulationCache, default_cache
 from .fitting import collect_throughput_observations
 from .throughput import ThroughputModel
 
@@ -68,12 +68,15 @@ class FineTuningCostModel:
         seq_len: int,
         dense: bool = False,
         catalog: Optional[PriceCatalog] = None,
+        cache: Optional[SimulationCache] = None,
+        jobs: int = 1,
     ) -> None:
         self.cfg = cfg
         self.seq_len = seq_len
         self.dense = dense
         self.catalog = catalog if catalog is not None else DEFAULT_CATALOG
-        self._throughput_models: Dict[str, ThroughputModel] = {}
+        self.cache = cache if cache is not None else default_cache()
+        self.jobs = jobs
 
     @classmethod
     def for_dataset(
@@ -82,25 +85,42 @@ class FineTuningCostModel:
         dataset_key: str,
         dense: bool = False,
         catalog: Optional[PriceCatalog] = None,
+        cache: Optional[SimulationCache] = None,
+        jobs: int = 1,
     ) -> "FineTuningCostModel":
         """Build a cost model using the dataset's padded sequence length."""
         if dataset_key not in EFFECTIVE_SEQ_LEN:
             raise KeyError(f"unknown dataset {dataset_key!r}")
-        return cls(cfg, seq_len=EFFECTIVE_SEQ_LEN[dataset_key], dense=dense, catalog=catalog)
+        return cls(
+            cfg,
+            seq_len=EFFECTIVE_SEQ_LEN[dataset_key],
+            dense=dense,
+            catalog=catalog,
+            cache=cache,
+            jobs=jobs,
+        )
 
     # ------------------------------------------------------------------
     def throughput_model(self, gpu: GPUSpec) -> ThroughputModel:
-        """Fit (and cache) Eq. 2 for one GPU from a simulated sweep."""
-        if gpu.name not in self._throughput_models:
-            dense_obs = collect_throughput_observations(self.cfg, gpu, self.seq_len, dense=True)
-            sparse_obs = collect_throughput_observations(self.cfg, gpu, self.seq_len, dense=False)
+        """Fit Eq. 2 for one GPU from a simulated sweep. The fit is a pure
+        function of the cached traces, so it is memoized on the simulation
+        cache — keyed by the full GPU spec, shared across cost-model
+        instances."""
+        def fit() -> ThroughputModel:
+            dense_obs = collect_throughput_observations(
+                self.cfg, gpu, self.seq_len, dense=True, cache=self.cache, jobs=self.jobs
+            )
+            sparse_obs = collect_throughput_observations(
+                self.cfg, gpu, self.seq_len, dense=False, cache=self.cache, jobs=self.jobs
+            )
             observations = dense_obs + sparse_obs
             if len(observations) < 3:
                 raise RuntimeError(
                     f"not enough feasible batch sizes on {gpu.name} to fit Eq. 2"
                 )
-            self._throughput_models[gpu.name] = ThroughputModel.fit(observations)
-        return self._throughput_models[gpu.name]
+            return ThroughputModel.fit(observations)
+
+        return self.cache.memoize(("eq2-fit", self.cfg, gpu, self.seq_len), fit)
 
     def estimate(
         self,
@@ -122,7 +142,15 @@ class FineTuningCostModel:
                 f"{self.cfg.name} does not fit on {gpu.name} at seq_len={self.seq_len}"
             )
         if use_simulator_directly:
-            qps = GPUSimulator(gpu).throughput(self.cfg, mbs, self.seq_len, dense=self.dense)
+            qps = self.cache.throughput(
+                Scenario(
+                    model=self.cfg,
+                    gpu=gpu,
+                    batch_size=mbs,
+                    seq_len=self.seq_len,
+                    dense=self.dense,
+                )
+            )
         else:
             qps = self.throughput_model(gpu).predict(mbs, self.cfg.moe.sparsity(self.dense))
         return CostEstimate(
@@ -150,9 +178,8 @@ class FineTuningCostModel:
 
 
 def dataset_num_queries(dataset_key: str) -> int:
-    """Query counts from Table II (plus large enterprise corpora)."""
-    if dataset_key in DATASET_STATS:
-        return DATASET_STATS[dataset_key].num_queries
-    if dataset_key == "openorca":
-        return 2_000_000
-    raise KeyError(f"unknown dataset {dataset_key!r}")
+    """Query counts from the dataset registry: Table II rows plus the
+    projection corpora (e.g. OpenOrca) that live beside them."""
+    if dataset_key not in DATASET_STATS:
+        raise KeyError(f"unknown dataset {dataset_key!r}")
+    return DATASET_STATS[dataset_key].num_queries

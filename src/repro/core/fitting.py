@@ -1,10 +1,10 @@
 """Observation collection for fitting the analytical models.
 
 The paper sweeps batch sizes on real hardware to collect throughput
-points and probes max batch sizes across GPUs; here the GPU simulator and
-the memory oracle play the role of the hardware. These helpers produce
-the observation lists consumed by :class:`BatchSizeModel.fit` and
-:class:`ThroughputModel.fit`.
+points and probes max batch sizes across GPUs; here the scenario engine
+(grids over the memoized GPU simulator) and the memory oracle play the
+role of the hardware. These helpers produce the observation lists
+consumed by :class:`BatchSizeModel.fit` and :class:`ThroughputModel.fit`.
 """
 
 from __future__ import annotations
@@ -16,6 +16,7 @@ from ..gpu.specs import GPUSpec
 from ..memory.estimator import max_batch_size
 from ..models.config import BlackMambaConfig, MixtralConfig
 from ..models.params import model_memory_gb
+from ..scenarios import Scenario, ScenarioGrid, SimulationCache, SweepPoint, SweepRunner
 from .batchsize import BatchSizeObservation
 from .throughput import ThroughputObservation
 
@@ -52,6 +53,18 @@ def collect_batch_size_observations(
     return observations
 
 
+def observations_from_sweep(points: Sequence[SweepPoint]) -> List[ThroughputObservation]:
+    """Convert executed sweep points into Eq. 2 observations."""
+    return [
+        ThroughputObservation(
+            batch_size=p.scenario.batch_size,
+            sparsity=p.scenario.sparsity,
+            throughput_qps=p.queries_per_second,
+        )
+        for p in points
+    ]
+
+
 def collect_throughput_observations(
     cfg: ModelConfig,
     gpu: GPUSpec,
@@ -59,23 +72,33 @@ def collect_throughput_observations(
     dense: bool,
     batch_sizes: Optional[Sequence[int]] = None,
     simulator: Optional[GPUSimulator] = None,
+    cache: Optional[SimulationCache] = None,
+    jobs: int = 1,
 ) -> List[ThroughputObservation]:
-    """Sweep batch sizes on the simulator, as the paper sweeps hardware.
+    """Sweep batch sizes through the scenario engine, as the paper sweeps
+    hardware.
 
     Default batch sizes run from 1 to the memory-limited maximum for the
     configuration, which is what both Fig. 14's ground-truth dots and the
-    fitting procedure use.
+    fitting procedure use. The sweep goes through the (shared) simulation
+    cache unless an explicit ``simulator`` bypasses it.
     """
-    simulator = simulator if simulator is not None else GPUSimulator(gpu)
     if batch_sizes is None:
-        upper = max(1, max_batch_size(cfg, gpu, seq_len, dense))
-        batch_sizes = list(range(1, upper + 1))
-    sparsity = cfg.moe.sparsity(dense)
-    return [
-        ThroughputObservation(
-            batch_size=b,
-            sparsity=sparsity,
-            throughput_qps=simulator.throughput(cfg, b, seq_len, dense=dense),
+        grid = ScenarioGrid.batch_sweep(cfg, gpu, seq_len=seq_len, dense=dense)
+    else:
+        grid = ScenarioGrid(
+            Scenario(model=cfg, gpu=gpu, batch_size=b, seq_len=seq_len, dense=dense)
+            for b in batch_sizes
         )
-        for b in batch_sizes
-    ]
+    if simulator is not None:
+        # Uncached escape hatch for callers probing a custom simulator;
+        # same grid (and batch-range policy), no memoization.
+        return [
+            ThroughputObservation(
+                batch_size=s.batch_size,
+                sparsity=s.sparsity,
+                throughput_qps=simulator.throughput(cfg, s.batch_size, seq_len, dense=dense),
+            )
+            for s in grid
+        ]
+    return observations_from_sweep(SweepRunner(cache=cache, jobs=jobs).run(grid))

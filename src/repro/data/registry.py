@@ -25,14 +25,14 @@ from .world import ArithmeticWorld, KnowledgeWorld
 
 @dataclass(frozen=True)
 class DatasetStats:
-    """One row of the paper's Table II."""
+    """One row of the paper's Table II (or a Section V projection corpus)."""
 
     key: str
     display_name: str
     num_queries: int
     median_seq_len: int
     task_type: str
-    role: str  # "train" or "eval"
+    role: str  # "train", "eval" or "projection"
 
 
 DATASET_STATS: Dict[str, DatasetStats] = {
@@ -40,6 +40,9 @@ DATASET_STATS: Dict[str, DatasetStats] = {
     "math14k": DatasetStats("math14k", "Math 14K (MATH)", 14000, 174, "math", "train"),
     "hellaswag": DatasetStats("hellaswag", "Hellaswag (HE)", 10000, 272, "commonsense", "eval"),
     "gsm8k": DatasetStats("gsm8k", "GSM8K (GS)", 1300, 148, "math", "eval"),
+    # Enterprise-scale corpus of the paper's Section V-C cost projection;
+    # not part of Table II, so it only feeds the cost pipeline.
+    "openorca": DatasetStats("openorca", "OpenOrca (projection)", 2_000_000, 200, "assistant", "projection"),
 }
 
 

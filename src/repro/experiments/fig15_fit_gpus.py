@@ -12,6 +12,7 @@ from ..core import collect_throughput_observations, fit_dense_sparse
 from ..gpu import A100_40, A100_80, H100
 from ..memory import EFFECTIVE_SEQ_LEN, max_batch_size
 from ..models import MIXTRAL_8X7B
+from ..scenarios import SimulationCache
 from .common import ExperimentResult
 
 PAPER_RMSE = {
@@ -21,12 +22,20 @@ PAPER_RMSE = {
 }
 
 
-def run(form: str = "exponent") -> ExperimentResult:
+def run(
+    form: str = "exponent",
+    jobs: int = 1,
+    cache: SimulationCache | None = None,
+) -> ExperimentResult:
     result = ExperimentResult("fig15", "Eq. 2 throughput fit on other GPUs (Mixtral-CS)")
     seq_len = EFFECTIVE_SEQ_LEN["commonsense15k"]
     for gpu in (A100_40, A100_80, H100):
-        dense = collect_throughput_observations(MIXTRAL_8X7B, gpu, seq_len, dense=True)
-        sparse = collect_throughput_observations(MIXTRAL_8X7B, gpu, seq_len, dense=False)
+        dense = collect_throughput_observations(
+            MIXTRAL_8X7B, gpu, seq_len, dense=True, cache=cache, jobs=jobs
+        )
+        sparse = collect_throughput_observations(
+            MIXTRAL_8X7B, gpu, seq_len, dense=False, cache=cache, jobs=jobs
+        )
         if len(dense) + len(sparse) < 3:
             result.add(f"{gpu.name}_rmse", float("nan"),
                        note="model does not fit on this GPU at this length")

@@ -8,8 +8,9 @@ Mixtral especially at low sparsity/batch.
 
 from __future__ import annotations
 
-from ..gpu import A40, GPUSimulator
+from ..gpu import A40
 from ..models import BLACKMAMBA_2_8B, MIXTRAL_8X7B
+from ..scenarios import SimulationCache, default_cache
 from .common import ExperimentResult
 from .fig4_stages import BLACKMAMBA_POINTS, MIXTRAL_POINTS, SEQ_LEN
 
@@ -23,15 +24,15 @@ BLACKMAMBA_KERNELS = (
 )
 
 
-def run(gpu=A40) -> ExperimentResult:
+def run(gpu=A40, cache: SimulationCache | None = None) -> ExperimentResult:
     result = ExperimentResult("fig6", "MoE kernel-level breakdown (us/layer)")
-    sim = GPUSimulator(gpu)
+    sim = cache if cache is not None else default_cache()
     for cfg, points, kernel_names in (
         (MIXTRAL_8X7B, MIXTRAL_POINTS, MIXTRAL_KERNELS),
         (BLACKMAMBA_2_8B, BLACKMAMBA_POINTS, BLACKMAMBA_KERNELS),
     ):
         for dense, batch in points:
-            trace = sim.simulate_step(cfg, batch, SEQ_LEN, dense=dense)
+            trace = sim.trace(cfg, gpu, batch, SEQ_LEN, dense=dense)
             table = trace.kernel_seconds_by_name(layer="moe")
             tag = f"{cfg.family}_{'D' if dense else 'S'}{batch}"
             for name in kernel_names:

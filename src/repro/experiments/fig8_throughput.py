@@ -1,11 +1,17 @@
-"""Fig. 8 — query throughput across models, datasets and batch sizes."""
+"""Fig. 8 — query throughput across models, datasets and batch sizes.
+
+The measurement grid is expressed as a :class:`ScenarioGrid`: the full
+model x dataset x density x batch product narrowed to the cells the
+paper actually plots, executed through the shared simulation cache.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict
 
-from ..gpu import A40, GPUSimulator
+from ..gpu import A40
 from ..models import BLACKMAMBA_2_8B, MIXTRAL_8X7B
+from ..scenarios import ScenarioGrid, SimulationCache, SweepRunner, register_preset
 from .common import ExperimentResult
 
 # Paper values read off Fig. 8 (queries/second).
@@ -30,38 +36,38 @@ PAPER: Dict[str, float] = {
     "blackmamba_math14k_S8": 11.6,
 }
 
-GRID: List[Tuple[object, str, bool, int]] = [
-    (MIXTRAL_8X7B, "commonsense15k", True, 1),
-    (MIXTRAL_8X7B, "commonsense15k", True, 2),
-    (MIXTRAL_8X7B, "commonsense15k", False, 1),
-    (MIXTRAL_8X7B, "commonsense15k", False, 2),
-    (MIXTRAL_8X7B, "commonsense15k", False, 8),
-    (MIXTRAL_8X7B, "math14k", True, 1),
-    (MIXTRAL_8X7B, "math14k", False, 1),
-    (MIXTRAL_8X7B, "math14k", False, 3),
-    (BLACKMAMBA_2_8B, "commonsense15k", True, 1),
-    (BLACKMAMBA_2_8B, "commonsense15k", True, 6),
-    (BLACKMAMBA_2_8B, "commonsense15k", False, 1),
-    (BLACKMAMBA_2_8B, "commonsense15k", False, 6),
-    (BLACKMAMBA_2_8B, "commonsense15k", False, 20),
-    (BLACKMAMBA_2_8B, "math14k", True, 1),
-    (BLACKMAMBA_2_8B, "math14k", True, 2),
-    (BLACKMAMBA_2_8B, "math14k", False, 1),
-    (BLACKMAMBA_2_8B, "math14k", False, 2),
-    (BLACKMAMBA_2_8B, "math14k", False, 8),
-]
-
-# The paper uses the datasets' real (median) lengths for throughput runs.
+# The paper uses the datasets' real (median) lengths for throughput runs;
+# scenarios resolve them from the dataset registry (Table II medians).
 THROUGHPUT_SEQ_LEN = {"commonsense15k": 79, "math14k": 174}
 
 
-def run(gpu=A40) -> ExperimentResult:
+def grid(gpu=A40) -> ScenarioGrid:
+    """The Fig. 8 measurement grid: full product, narrowed to the plotted
+    cells. Grid order equals the figure's row order."""
+    result = ScenarioGrid.product(
+        models=(MIXTRAL_8X7B, BLACKMAMBA_2_8B),
+        gpus=(gpu,),
+        datasets=("commonsense15k", "math14k"),
+        dense=(True, False),
+        batch_sizes=(1, 2, 3, 6, 8, 20),
+    ).filter(lambda s: s.label() in PAPER)
+    # Every PAPER cell must survive the product+filter; a new reading
+    # whose batch size is missing from the axis would otherwise be
+    # dropped silently (explicit raise so `python -O` keeps the guard).
+    if len(result) != len(PAPER):
+        missing = sorted(set(PAPER) - set(result.labels()))
+        raise ValueError(f"PAPER cells missing from the fig8 grid axes: {missing}")
+    return result
+
+
+register_preset("fig8", grid, overwrite=True)  # idempotent across reloads
+
+
+def run(gpu=A40, jobs: int = 1, cache: SimulationCache | None = None) -> ExperimentResult:
     result = ExperimentResult("fig8", "Fine-tuning throughput (queries/second)")
-    sim = GPUSimulator(gpu)
-    for cfg, dataset, dense, batch in GRID:
-        label = f"{cfg.family}_{dataset}_{'D' if dense else 'S'}{batch}"
-        qps = sim.throughput(cfg, batch, THROUGHPUT_SEQ_LEN[dataset], dense=dense)
-        result.add(label, qps, PAPER.get(label))
+    runner = SweepRunner(cache=cache, jobs=jobs)
+    for point in runner.run(grid(gpu)):
+        result.add(point.label, point.queries_per_second, PAPER.get(point.label))
     # Headline claims as explicit rows.
     sparse2 = result.row("mixtral_commonsense15k_S2").measured
     dense2 = result.row("mixtral_commonsense15k_D2").measured

@@ -1,41 +1,126 @@
-"""Run the experiment suite and render a paper-vs-measured report.
+"""Run the experiment suite through the scenario engine and render a
+paper-vs-measured report.
 
 Usage::
 
-    python -m repro.experiments.report            # fast artifacts only
-    python -m repro.experiments.report --training # include Fig. 3 / Fig. 11
+    python -m repro.experiments.report             # fast artifacts only
+    python -m repro.experiments.report --training  # include Fig. 3 / Fig. 11
+    python -m repro.experiments.report --jobs 4    # parallel sweeps
+    python -m repro.experiments.report --json      # machine-readable output
 
-The output mirrors EXPERIMENTS.md: one table per artifact with measured
-values next to the paper's published numbers.
+The text output mirrors EXPERIMENTS.md: one table per artifact with
+measured values next to the paper's published numbers. All simulation
+flows through the shared scenario cache, so a second report pass in the
+same process performs zero redundant ``simulate_step`` calls.
 """
 
 from __future__ import annotations
 
 import argparse
-from typing import List
+import inspect
+import json
+import math
+from typing import Any, Dict, List
 
+from ..scenarios import default_cache
 from . import ALL_EXPERIMENTS
+from .common import ExperimentResult
 
 # Artifacts that require tiny-model training (minutes, not seconds).
 TRAINING_EXPERIMENTS = ("fig3", "fig11")
 
 
-def run_report(include_training: bool = False, scale: str = "smoke") -> str:
-    """Execute experiments and return the combined report text."""
-    sections: List[str] = []
+def _run_module(module, **kwargs) -> ExperimentResult:
+    """Call ``module.run`` with only the kwargs its signature accepts, so
+    engine knobs (``jobs``) reach the refactored experiments without
+    forcing every module onto one signature."""
+    parameters = inspect.signature(module.run).parameters
+    return module.run(**{k: v for k, v in kwargs.items() if k in parameters})
+
+
+def collect_results(
+    include_training: bool = False, scale: str = "smoke", jobs: int = 1
+) -> Dict[str, ExperimentResult]:
+    """Execute the suite; training artifacts only when requested."""
+    results: Dict[str, ExperimentResult] = {}
     for key, module in ALL_EXPERIMENTS.items():
-        if key in TRAINING_EXPERIMENTS:
-            if not include_training:
-                sections.append(f"== {key}: skipped (rerun with --training) ==")
-                continue
-            result = module.run(scale=scale)
+        if key in TRAINING_EXPERIMENTS and not include_training:
+            continue
+        results[key] = _run_module(module, scale=scale, jobs=jobs)
+    return results
+
+
+def _json_value(value: Any) -> Any:
+    """Make numpy scalars and other oddballs JSON-representable.
+
+    Non-finite floats map to ``null``: ``json.dumps`` would otherwise
+    emit a bare ``NaN`` token that strict parsers reject.
+    """
+    if not (value is None or isinstance(value, (bool, int, float, str))):
+        item = getattr(value, "item", None)
+        if callable(item):
+            try:
+                value = item()
+            except (TypeError, ValueError):
+                return str(value)
         else:
-            result = module.run()
+            return str(value)
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+def report_payload(
+    include_training: bool = False, scale: str = "smoke", jobs: int = 1
+) -> Dict[str, Any]:
+    """The report as a JSON-serializable structure (``--json``)."""
+    results = collect_results(include_training=include_training, scale=scale, jobs=jobs)
+    experiments = []
+    for key, result in results.items():
+        experiments.append(
+            {
+                "id": result.experiment_id,
+                "title": result.title,
+                "rows": [
+                    {
+                        "label": row.label,
+                        "measured": _json_value(row.measured),
+                        "paper": _json_value(row.paper),
+                        "note": row.note,
+                        "matches_paper": row.matches_paper(),
+                    }
+                    for row in result.rows
+                ],
+            }
+        )
+    stats = default_cache().stats()
+    return {
+        "experiments": experiments,
+        "skipped": [k for k in TRAINING_EXPERIMENTS if k not in results],
+        "jobs": jobs,
+        "cache": {"hits": stats.hits, "misses": stats.misses, "entries": stats.entries},
+    }
+
+
+def run_report(include_training: bool = False, scale: str = "smoke", jobs: int = 1) -> str:
+    """Execute experiments and return the combined report text."""
+    results = collect_results(include_training=include_training, scale=scale, jobs=jobs)
+    sections: List[str] = []
+    for key in ALL_EXPERIMENTS:
+        if key not in results:
+            sections.append(f"== {key}: skipped (rerun with --training) ==")
+            continue
+        result = results[key]
         matched = sum(1 for r in result.rows if r.matches_paper() is True)
         compared = sum(1 for r in result.rows if r.matches_paper() is not None)
         sections.append(result.to_table())
         if compared:
             sections.append(f"   -> {matched}/{compared} paper-comparable rows within 50%")
+    stats = default_cache().stats()
+    sections.append(
+        f"== scenario cache: {stats.hits} hits / {stats.misses} misses "
+        f"({stats.entries} traces) =="
+    )
     return "\n\n".join(sections)
 
 
@@ -45,8 +130,19 @@ def main(argv: List[str] | None = None) -> int:
                         help="also run the training-based experiments (Fig. 3, Fig. 11)")
     parser.add_argument("--scale", default="smoke", choices=("smoke", "bench", "full"),
                         help="size preset for the training experiments")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker threads for the scenario sweeps (default 1; "
+                             "thread-based, so wall-clock gains are GIL-limited "
+                             "until a process-pool executor lands)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the report as JSON instead of tables")
     args = parser.parse_args(argv)
-    print(run_report(include_training=args.training, scale=args.scale))
+    if args.as_json:
+        payload = report_payload(include_training=args.training, scale=args.scale,
+                                 jobs=args.jobs)
+        print(json.dumps(payload, indent=2))
+    else:
+        print(run_report(include_training=args.training, scale=args.scale, jobs=args.jobs))
     return 0
 
 

@@ -1,11 +1,12 @@
 """Table III — maximum batch sizes on the A40 for all model/dataset/sparsity
-combinations."""
+combinations, enumerated as a scenario grid over the memory oracle."""
 
 from __future__ import annotations
 
 from ..gpu import A40
 from ..memory import max_batch_size_for_dataset
 from ..models import BLACKMAMBA_2_8B, MIXTRAL_8X7B
+from ..scenarios import ScenarioGrid, register_preset
 from .common import ExperimentResult
 
 PAPER = {
@@ -20,12 +21,27 @@ PAPER = {
 }
 
 
+def grid(gpu=A40) -> ScenarioGrid:
+    """Every Table III cell; the batch axis is degenerate because the
+    oracle determines the batch size."""
+    return ScenarioGrid.product(
+        models=(MIXTRAL_8X7B, BLACKMAMBA_2_8B),
+        gpus=(gpu,),
+        datasets=("commonsense15k", "math14k"),
+        dense=(True, False),
+    )
+
+
+register_preset("table3", grid, overwrite=True)  # idempotent across reloads
+
+
 def run() -> ExperimentResult:
     result = ExperimentResult("table3", "Maximum batch size on A40 (48GB)")
-    for cfg in (MIXTRAL_8X7B, BLACKMAMBA_2_8B):
-        for dataset in ("commonsense15k", "math14k"):
-            for dense in (True, False):
-                label = f"{cfg.family}_{dataset}_{'dense' if dense else 'sparse'}"
-                measured = max_batch_size_for_dataset(cfg, A40, dataset, dense=dense)
-                result.add(label, measured, PAPER[(cfg.family, dataset, dense)])
+    for scenario in grid():
+        cfg = scenario.config
+        label = f"{cfg.family}_{scenario.dataset}_{'dense' if scenario.dense else 'sparse'}"
+        measured = max_batch_size_for_dataset(
+            cfg, scenario.gpu_spec, scenario.dataset, dense=scenario.dense
+        )
+        result.add(label, measured, PAPER[(cfg.family, scenario.dataset, scenario.dense)])
     return result

@@ -6,6 +6,9 @@ epochs at ~1 q/s is ~38h = ~$30 on the A40; the GS set's 1.3k queries
 would cost ~$3). We therefore reproduce it as: batch size and throughput
 at the GS sequence length, total queries from MATH-14k x 10 epochs. The
 OpenOrca projection scales the same model to a 2M-query corpus.
+
+The cost model runs its Eq. 2 calibration sweeps through the shared
+simulation cache.
 """
 
 from __future__ import annotations
@@ -14,6 +17,7 @@ from ..cloud import DEFAULT_CATALOG
 from ..core import FineTuningCostModel, dataset_num_queries
 from ..gpu import A40, A100_80, H100
 from ..models import MIXTRAL_8X7B
+from ..scenarios import SimulationCache
 from .common import ExperimentResult
 
 PAPER = {
@@ -23,13 +27,16 @@ PAPER = {
 }
 PAPER_OPENORCA_COST = 3460.0
 EPOCHS = 10
+GPU_CANDIDATES = (A40, A100_80, H100)
 
 
-def run() -> ExperimentResult:
+def run(jobs: int = 1, cache: SimulationCache | None = None) -> ExperimentResult:
     result = ExperimentResult("table4", "Cost of fine-tuning Mixtral (sparse)")
-    cost_model = FineTuningCostModel.for_dataset(MIXTRAL_8X7B, "gsm8k", dense=False)
+    cost_model = FineTuningCostModel.for_dataset(
+        MIXTRAL_8X7B, "gsm8k", dense=False, cache=cache, jobs=jobs
+    )
     num_queries = dataset_num_queries("math14k")
-    estimates = cost_model.rank_gpus([A40, A100_80, H100], num_queries, epochs=EPOCHS)
+    estimates = cost_model.rank_gpus(GPU_CANDIDATES, num_queries, epochs=EPOCHS)
     for estimate in estimates:
         paper = PAPER[estimate.gpu_name]
         result.add(f"{estimate.gpu_name}_mbs", estimate.max_batch_size, paper["mbs"])
@@ -40,7 +47,9 @@ def run() -> ExperimentResult:
                note="paper: H100 is the most cost-effective option")
 
     # OpenOrca (2M queries) projection on the H100.
-    orca_model = FineTuningCostModel.for_dataset(MIXTRAL_8X7B, "openorca", dense=False)
+    orca_model = FineTuningCostModel.for_dataset(
+        MIXTRAL_8X7B, "openorca", dense=False, cache=cache, jobs=jobs
+    )
     orca = orca_model.estimate(H100, dataset_num_queries("openorca"), epochs=EPOCHS)
     result.add("openorca_h100_cost", orca.dollars, PAPER_OPENORCA_COST)
     result.metadata["catalog_providers"] = DEFAULT_CATALOG.providers()

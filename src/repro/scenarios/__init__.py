@@ -1,0 +1,39 @@
+"""Unified scenario engine (S14) — first-class sweeps over the
+characterization space.
+
+The paper's workflow is sweep -> fit -> project. This package makes the
+sweep a first-class object:
+
+* :class:`Scenario` — a frozen, hashable point of the (model, dataset,
+  GPU, density, batch, seq_len, overrides) space;
+* :class:`ScenarioGrid` — declarative enumeration (cartesian products,
+  batch sweeps, filters, named presets);
+* :class:`SimulationCache` — memoized ``simulate_step`` traces keyed by
+  scenario, with hit/miss accounting;
+* :class:`SweepRunner` — deterministic (optionally parallel) grid
+  execution feeding experiment results.
+
+Every experiment, the Eq. 2 fitting helpers and the cost model run their
+sweeps through this engine, so one process simulates each distinct point
+exactly once no matter how many consumers ask for it.
+"""
+
+from .cache import CacheStats, SimulationCache, default_cache, reset_default_cache
+from .grid import ScenarioGrid, preset, preset_names, register_preset
+from .runner import SweepPoint, SweepRunner
+from .scenario import Scenario, freeze_overrides
+
+__all__ = [
+    "CacheStats",
+    "Scenario",
+    "ScenarioGrid",
+    "SimulationCache",
+    "SweepPoint",
+    "SweepRunner",
+    "default_cache",
+    "freeze_overrides",
+    "preset",
+    "preset_names",
+    "register_preset",
+    "reset_default_cache",
+]

@@ -1,0 +1,203 @@
+"""Memoized simulation: one trace per scenario, shared by every consumer.
+
+``GPUSimulator.simulate_step`` rebuilds the full kernel inventory and
+rooflines every kernel on each call, so before this layer existed the
+same (config, batch, seq_len, density) point was re-simulated many times
+across figure reproduction, Eq. 2 fitting and cost ranking.
+:class:`SimulationCache` memoizes step traces by
+:meth:`Scenario.key <repro.scenarios.scenario.Scenario.key>` and exposes
+hit/miss counters so benchmarks (and the acceptance criterion "zero
+redundant simulations on a warm report pass") can verify sharing.
+
+A process-global default cache backs every consumer that is not handed an
+explicit one, so independent experiments executed in one process share
+traces. Traces are pure functions of the scenario, so cross-consumer
+reuse is always sound.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+from ..gpu.simulator import GPUSimulator, SoftwareOverhead
+from ..gpu.specs import GPUSpec
+from ..gpu.trace import StepTrace
+from .scenario import ModelConfig, Scenario, freeze_overrides
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A snapshot of the cache's accounting counters."""
+
+    hits: int
+    misses: int
+    entries: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class SimulationCache:
+    """Memoizes :meth:`GPUSimulator.simulate_step` traces by scenario key.
+
+    Thread-safe: a sweep running with ``jobs > 1`` shares one cache. Each
+    simulator instance is also cached per GPU spec so repeated sweeps on
+    the same hardware reuse one simulator.
+    """
+
+    def __init__(self, overheads: Optional[Dict[str, SoftwareOverhead]] = None) -> None:
+        self._overheads = overheads
+        self._simulators: Dict[GPUSpec, GPUSimulator] = {}
+        self._traces: Dict[Tuple, StepTrace] = {}
+        self._derived: Dict[Tuple, object] = {}
+        self._inflight: Dict[Tuple, threading.Event] = {}
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------
+    def simulator(self, gpu: GPUSpec) -> GPUSimulator:
+        """The (cached) simulator for one GPU spec."""
+        with self._lock:
+            sim = self._simulators.get(gpu)
+            if sim is None:
+                sim = GPUSimulator(gpu, overheads=self._overheads)
+                self._simulators[gpu] = sim
+            return sim
+
+    def simulate(self, scenario: Scenario) -> StepTrace:
+        """The step trace for one scenario, simulating at most once.
+
+        Concurrent misses on the same key collapse: one thread simulates
+        while the others wait on the in-flight marker, so duplicate
+        points in a parallel sweep never run ``simulate_step`` twice.
+        """
+        key = scenario.key()
+        while True:
+            with self._lock:
+                trace = self._traces.get(key)
+                if trace is not None:
+                    self._hits += 1
+                    return trace
+                event = self._inflight.get(key)
+                if event is None:
+                    event = threading.Event()
+                    self._inflight[key] = event
+                    self._misses += 1
+                    break  # this thread computes
+            event.wait()  # another thread is computing; re-read after it
+        try:
+            sim = self.simulator(scenario.gpu_spec)
+            trace = sim.simulate_step(
+                scenario.config,
+                scenario.batch_size,
+                scenario.resolved_seq_len,
+                dense=scenario.dense,
+                **scenario.overrides_dict(),
+            )
+            with self._lock:
+                self._traces[key] = trace
+            return trace
+        finally:
+            # On failure waiters loop, find no trace, and one retries.
+            with self._lock:
+                self._inflight.pop(key, None)
+            event.set()
+
+    def trace(
+        self,
+        cfg: ModelConfig,
+        gpu: Union[str, GPUSpec],
+        batch_size: int,
+        seq_len: int,
+        dense: bool = False,
+        **overrides,
+    ) -> StepTrace:
+        """Positional convenience mirroring ``GPUSimulator.simulate_step``."""
+        return self.simulate(
+            Scenario(
+                model=cfg,
+                gpu=gpu,
+                batch_size=batch_size,
+                seq_len=seq_len,
+                dense=dense,
+                overrides=freeze_overrides(overrides),
+            )
+        )
+
+    def throughput(self, scenario: Scenario) -> float:
+        return self.simulate(scenario).queries_per_second
+
+    def memoize(self, key: Tuple, compute):
+        """Memoize a derived result (e.g. an Eq. 2 fit) that is a pure
+        function of cached traces. ``key`` must be hashable and include
+        everything the computation depends on. Concurrent misses collapse
+        the same way :meth:`simulate` misses do."""
+        while True:
+            with self._lock:
+                if key in self._derived:
+                    return self._derived[key]
+                event = self._inflight.get(key)
+                if event is None:
+                    event = threading.Event()
+                    self._inflight[key] = event
+                    break  # this thread computes
+            event.wait()
+        try:
+            value = compute()
+            with self._lock:
+                self._derived[key] = value
+            return value
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+            event.set()
+
+    # ------------------------------------------------------------------
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(hits=self._hits, misses=self._misses, entries=len(self._traces))
+
+    def clear(self) -> None:
+        """Drop all cached traces/simulators/derived results and reset
+        the counters."""
+        with self._lock:
+            self._traces.clear()
+            self._simulators.clear()
+            self._derived.clear()
+            self._hits = 0
+            self._misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+    def __contains__(self, scenario: Scenario) -> bool:
+        with self._lock:
+            return scenario.key() in self._traces
+
+
+# ---------------------------------------------------------------------------
+# Process-global default cache
+# ---------------------------------------------------------------------------
+
+_default_cache = SimulationCache()
+
+
+def default_cache() -> SimulationCache:
+    """The process-wide cache used when a consumer is not handed one."""
+    return _default_cache
+
+
+def reset_default_cache() -> SimulationCache:
+    """Replace the global cache with a fresh one (tests/benchmarks)."""
+    global _default_cache
+    _default_cache = SimulationCache()
+    return _default_cache

@@ -1,0 +1,101 @@
+"""Bulk execution of scenario grids.
+
+:class:`SweepRunner` turns a grid into a list of :class:`SweepPoint`
+results — optionally concurrent via ``concurrent.futures`` — with
+result order always equal to grid order regardless of ``jobs``, so
+concurrency never changes a report. The executor is a thread pool
+sharing one :class:`SimulationCache`, which keeps duplicate points
+collapsing into single simulations; note that simulation is pure Python,
+so ``jobs > 1`` buys cache sharing and determinism, not GIL-bound
+wall-clock speedup (a process pool is a roadmap item).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..gpu.trace import StepTrace
+from .cache import SimulationCache, default_cache
+from .grid import ScenarioGrid
+from .scenario import Scenario
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One executed scenario: its grid position, inputs and trace."""
+
+    index: int
+    scenario: Scenario
+    trace: StepTrace
+
+    @property
+    def label(self) -> str:
+        return self.scenario.label()
+
+    @property
+    def queries_per_second(self) -> float:
+        return self.trace.queries_per_second
+
+    @property
+    def total_seconds(self) -> float:
+        return self.trace.total_seconds
+
+
+class SweepRunner:
+    """Executes scenario grids against a (shared) simulation cache."""
+
+    def __init__(self, cache: Optional[SimulationCache] = None, jobs: int = 1) -> None:
+        self.cache = cache if cache is not None else default_cache()
+        self.jobs = max(1, int(jobs))
+
+    def run(self, grid: ScenarioGrid) -> List[SweepPoint]:
+        """Simulate every scenario; results are in grid order."""
+        scenarios = list(grid)
+        if self.jobs == 1 or len(scenarios) <= 1:
+            traces = [self.cache.simulate(s) for s in scenarios]
+        else:
+            with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+                traces = list(pool.map(self.cache.simulate, scenarios))
+        return [
+            SweepPoint(index=i, scenario=s, trace=t)
+            for i, (s, t) in enumerate(zip(scenarios, traces))
+        ]
+
+    def throughputs(self, grid: ScenarioGrid) -> List[float]:
+        return [point.queries_per_second for point in self.run(grid)]
+
+    def to_result(
+        self,
+        experiment_id: str,
+        title: str,
+        grid: ScenarioGrid,
+        paper: Optional[dict] = None,
+        value: Optional[Callable[[SweepPoint], object]] = None,
+    ):
+        """Run the grid and feed the points straight into an
+        :class:`~repro.experiments.common.ExperimentResult` (one row per
+        scenario, labeled by scenario, paper value looked up by label)."""
+        # Imported lazily: experiments depend on scenarios, not vice versa.
+        from ..experiments.common import ExperimentResult
+
+        value = value if value is not None else (lambda p: p.queries_per_second)
+        paper = paper or {}
+        # Axes the base label omits (GPU, seq_len) must appear in it when
+        # the grid sweeps them, or rows (and paper lookups) would collide.
+        multi_gpu = len({s.gpu_spec for s in grid}) > 1
+        multi_seq = len({s.resolved_seq_len for s in grid}) > 1
+        labels = [s.label(include_gpu=multi_gpu, include_seq_len=multi_seq) for s in grid]
+        # Remaining collisions (overrides axis, same-family model variants)
+        # fall back to fully qualified labels, and — for variants even a
+        # qualified label cannot tell apart, e.g. scaled() configs sharing
+        # a name — to positional suffixes.
+        if len(set(labels)) != len(set(grid)):
+            labels = [s.qualified_label() for s in grid]
+            if len(set(labels)) != len(set(grid)):
+                labels = [f"{label}#{i}" for i, label in enumerate(labels)]
+        result = ExperimentResult(experiment_id, title)
+        for point, label in zip(self.run(grid), labels):
+            result.add(label, value(point), paper.get(label))
+        return result

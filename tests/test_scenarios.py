@@ -1,0 +1,352 @@
+"""Tests for the scenario engine: scenario identity, grid building,
+cache accounting, parallel determinism, and regression equivalence of the
+refactored experiments against the seed (direct-simulator) path."""
+
+import pytest
+
+from repro.experiments import fig8_throughput, report, table3_maxbatch
+from repro.gpu import A40, A100_80, GPUSimulator
+from repro.memory import max_batch_size
+from repro.models import BLACKMAMBA_2_8B, MIXTRAL_8X7B
+from repro.scenarios import (
+    Scenario,
+    ScenarioGrid,
+    SimulationCache,
+    SweepRunner,
+    default_cache,
+    freeze_overrides,
+    preset,
+    preset_names,
+    register_preset,
+)
+
+
+class TestScenario:
+    def test_hashing_and_equality(self):
+        a = Scenario(model=MIXTRAL_8X7B, gpu=A40, batch_size=2, seq_len=128, dense=False)
+        b = Scenario(model=MIXTRAL_8X7B, gpu=A40, batch_size=2, seq_len=128, dense=False)
+        c = Scenario(model=MIXTRAL_8X7B, gpu=A40, batch_size=3, seq_len=128, dense=False)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert len({a, b, c}) == 2
+
+    def test_registry_keys_resolve_to_same_cache_key(self):
+        by_key = Scenario(model="mixtral-8x7b", gpu="A40", batch_size=1, seq_len=128)
+        by_obj = Scenario(model=MIXTRAL_8X7B, gpu=A40, batch_size=1, seq_len=128)
+        assert by_key.key() == by_obj.key()
+        assert by_key.config is MIXTRAL_8X7B
+        assert by_key.gpu_spec is A40
+
+    def test_dataset_resolves_median_seq_len(self):
+        s = Scenario(model=MIXTRAL_8X7B, gpu=A40, dataset="commonsense15k")
+        assert s.resolved_seq_len == 79
+        assert Scenario(model=MIXTRAL_8X7B, gpu=A40, dataset="math14k").resolved_seq_len == 174
+
+    def test_explicit_seq_len_wins_over_dataset(self):
+        s = Scenario(model=MIXTRAL_8X7B, gpu=A40, dataset="commonsense15k", seq_len=80)
+        assert s.resolved_seq_len == 80
+
+    def test_requires_seq_len_or_dataset(self):
+        with pytest.raises(ValueError):
+            Scenario(model=MIXTRAL_8X7B, gpu=A40)
+        with pytest.raises(ValueError):
+            Scenario(model=MIXTRAL_8X7B, gpu=A40, seq_len=128, batch_size=0)
+
+    def test_label_convention(self):
+        s = Scenario(model=MIXTRAL_8X7B, gpu=A40, dataset="commonsense15k",
+                     batch_size=2, dense=False)
+        assert s.label() == "mixtral_commonsense15k_S2"
+        assert s.with_(dense=True).label() == "mixtral_commonsense15k_D2"
+        assert Scenario(model=BLACKMAMBA_2_8B, gpu=A40, seq_len=128).label() == "blackmamba_S1"
+
+    def test_overrides_normalize_from_dict(self):
+        from_dict = Scenario(model=MIXTRAL_8X7B, gpu=A40, seq_len=64,
+                             overrides={"quantized": False})
+        from_items = Scenario(model=MIXTRAL_8X7B, gpu=A40, seq_len=64,
+                              overrides=(("quantized", False),))
+        assert from_dict == from_items
+        assert from_dict.overrides_dict() == {"quantized": False}
+        assert freeze_overrides({"b": 1, "a": 2}) == (("a", 2), ("b", 1))
+
+    def test_unsorted_tuple_overrides_normalize(self):
+        unsorted = Scenario(model=MIXTRAL_8X7B, gpu=A40, seq_len=64,
+                            overrides=(("b", 1), ("a", 2)))
+        as_dict = Scenario(model=MIXTRAL_8X7B, gpu=A40, seq_len=64,
+                           overrides={"a": 2, "b": 1})
+        assert unsorted == as_dict
+        assert hash(unsorted) == hash(as_dict)
+        assert unsorted.key() == as_dict.key()
+
+    def test_max_batch_size_matches_oracle(self):
+        s = Scenario(model=MIXTRAL_8X7B, gpu=A40, seq_len=80, dense=False)
+        assert s.max_batch_size() == max_batch_size(MIXTRAL_8X7B, A40, 80, False)
+
+
+class TestScenarioGrid:
+    def test_product_order_is_deterministic(self):
+        grid = ScenarioGrid.product(
+            models=(MIXTRAL_8X7B, BLACKMAMBA_2_8B),
+            gpus=(A40,),
+            seq_lens=(128,),
+            dense=(True, False),
+            batch_sizes=(1, 2),
+        )
+        assert len(grid) == 8
+        assert grid.labels()[:4] == ["mixtral_D1", "mixtral_D2", "mixtral_S1", "mixtral_S2"]
+        assert grid == ScenarioGrid.product(
+            models=(MIXTRAL_8X7B, BLACKMAMBA_2_8B), gpus=(A40,), seq_lens=(128,),
+            dense=(True, False), batch_sizes=(1, 2),
+        )
+
+    def test_filter_and_concat(self):
+        grid = ScenarioGrid.product(models=(MIXTRAL_8X7B,), gpus=(A40,),
+                                    seq_lens=(128,), batch_sizes=(1, 2, 3, 4))
+        evens = grid.filter(lambda s: s.batch_size % 2 == 0)
+        assert [s.batch_size for s in evens] == [2, 4]
+        assert len(evens + grid) == 6
+
+    def test_batch_sweep_spans_oracle_range(self):
+        upper = max_batch_size(MIXTRAL_8X7B, A40, 80, False)
+        grid = ScenarioGrid.batch_sweep(MIXTRAL_8X7B, A40, seq_len=80, dense=False)
+        assert [s.batch_size for s in grid] == list(range(1, upper + 1))
+
+    def test_batch_sweep_floors_at_one(self):
+        # Dense Mixtral at a long length does not fit; the sweep still
+        # contributes its batch-1 point, as the fitting procedure expects.
+        grid = ScenarioGrid.batch_sweep(MIXTRAL_8X7B, A40, seq_len=4096, dense=True)
+        assert [s.batch_size for s in grid] == [1]
+
+    def test_presets(self):
+        assert {"fig8", "table3", "a40-profiling-grid"} <= set(preset_names())
+        assert len(preset("fig8")) == 18
+        assert preset("table3").labels()[0] == "mixtral_commonsense15k_D1"
+        with pytest.raises(KeyError):
+            preset("nope")
+        with pytest.raises(ValueError):
+            register_preset("fig8", lambda: ScenarioGrid())
+
+
+class TestSimulationCache:
+    def test_hit_miss_accounting(self):
+        cache = SimulationCache()
+        s = Scenario(model=BLACKMAMBA_2_8B, gpu=A40, batch_size=1, seq_len=64)
+        first = cache.simulate(s)
+        assert (cache.stats().hits, cache.stats().misses) == (0, 1)
+        second = cache.simulate(s)
+        assert second is first
+        assert (cache.stats().hits, cache.stats().misses) == (1, 1)
+        cache.simulate(s.with_(batch_size=2))
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.entries) == (1, 2, 2)
+        assert stats.lookups == 3
+        assert stats.hit_rate == pytest.approx(1 / 3)
+
+    def test_equivalent_scenarios_share_one_trace(self):
+        cache = SimulationCache()
+        with_dataset = Scenario(model=BLACKMAMBA_2_8B, gpu=A40, dataset="commonsense15k")
+        with_seq_len = Scenario(model=BLACKMAMBA_2_8B, gpu=A40, seq_len=79)
+        assert cache.simulate(with_dataset) is cache.simulate(with_seq_len)
+        assert cache.stats().misses == 1
+
+    def test_trace_matches_direct_simulator(self):
+        cache = SimulationCache()
+        cached = cache.trace(BLACKMAMBA_2_8B, A40, 2, 64, dense=True)
+        direct = GPUSimulator(A40).simulate_step(BLACKMAMBA_2_8B, 2, 64, dense=True)
+        assert cached.total_seconds == direct.total_seconds
+        assert cached.queries_per_second == direct.queries_per_second
+
+    def test_memoize_collapses_concurrent_computes(self):
+        import threading
+        import time
+
+        cache = SimulationCache()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            time.sleep(0.02)
+            return "fit"
+
+        results = []
+        threads = [
+            threading.Thread(target=lambda: results.append(cache.memoize(("k",), compute)))
+            for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert results == ["fit"] * 4
+        assert len(calls) == 1
+
+    def test_clear_and_contains(self):
+        cache = SimulationCache()
+        s = Scenario(model=BLACKMAMBA_2_8B, gpu=A40, batch_size=1, seq_len=64)
+        cache.simulate(s)
+        assert s in cache and len(cache) == 1
+        cache.clear()
+        assert s not in cache and len(cache) == 0
+        assert cache.stats().lookups == 0
+
+
+class TestSweepRunner:
+    GRID = ScenarioGrid.product(
+        models=(BLACKMAMBA_2_8B,), gpus=(A40,), seq_lens=(64,),
+        dense=(True, False), batch_sizes=(1, 2, 3, 4),
+    )
+
+    def test_parallel_matches_serial_in_order_and_values(self):
+        serial = SweepRunner(cache=SimulationCache(), jobs=1).run(self.GRID)
+        parallel = SweepRunner(cache=SimulationCache(), jobs=4).run(self.GRID)
+        assert [p.label for p in parallel] == [p.label for p in serial]
+        assert [p.queries_per_second for p in parallel] == [
+            p.queries_per_second for p in serial
+        ]
+        assert [p.index for p in parallel] == list(range(len(self.GRID)))
+
+    def test_parallel_duplicates_collapse_in_cache(self):
+        cache = SimulationCache()
+        doubled = self.GRID + self.GRID
+        SweepRunner(cache=cache, jobs=4).run(doubled)
+        stats = cache.stats()
+        assert stats.entries == len(self.GRID)
+        # In-flight dedup: concurrent misses on one key simulate once, so
+        # the miss count equals the distinct points, not the lookups.
+        assert stats.misses == len(self.GRID)
+        assert stats.hits == len(self.GRID)
+
+    def test_to_result_feeds_rows(self):
+        result = SweepRunner(cache=SimulationCache()).to_result(
+            "demo", "demo sweep", self.GRID[:2], paper={"blackmamba_D1": 2.3}
+        )
+        assert result.experiment_id == "demo"
+        assert [r.label for r in result.rows] == ["blackmamba_D1", "blackmamba_D2"]
+        assert result.rows[0].paper == 2.3
+
+    def test_to_result_disambiguates_multi_gpu_grids(self):
+        grid = ScenarioGrid.product(
+            models=(BLACKMAMBA_2_8B,), gpus=(A40, A100_80), seq_lens=(64,),
+            batch_sizes=(1,),
+        )
+        result = SweepRunner(cache=SimulationCache()).to_result("demo", "t", grid)
+        labels = [r.label for r in result.rows]
+        assert labels == ["blackmamba_S1_A40", "blackmamba_S1_A100-80GB"]
+        assert len(set(labels)) == len(labels)
+
+    def test_to_result_disambiguates_seq_len_sweeps(self):
+        grid = ScenarioGrid.product(
+            models=(BLACKMAMBA_2_8B,), gpus=(A40,), seq_lens=(64, 128),
+            batch_sizes=(1,),
+        )
+        result = SweepRunner(cache=SimulationCache()).to_result("demo", "t", grid)
+        labels = [r.label for r in result.rows]
+        assert labels == ["blackmamba_S1_L64", "blackmamba_S1_L128"]
+        assert len(set(labels)) == len(labels)
+
+    def test_to_result_falls_back_to_qualified_labels(self):
+        # An overrides axis and a same-family model variant both collide
+        # under the base label; to_result must emit qualified labels.
+        base = ScenarioGrid.product(models=(MIXTRAL_8X7B,), gpus=(A40,),
+                                    seq_lens=(64,), batch_sizes=(1,))
+        ablation = base + base.map(lambda s: s.with_(overrides={"quantized": False}))
+        labels = [
+            r.label
+            for r in SweepRunner(cache=SimulationCache()).to_result("demo", "t", ablation).rows
+        ]
+        assert len(set(labels)) == 2
+        assert any("quantized=False" in label for label in labels)
+
+        # Renamed variant: qualified labels (model name) disambiguate.
+        variants = base + base.map(
+            lambda s: s.with_(model=MIXTRAL_8X7B.scaled(num_layers=16, name="mixtral-16L"))
+        )
+        labels = [
+            r.label
+            for r in SweepRunner(cache=SimulationCache()).to_result("demo", "t", variants).rows
+        ]
+        assert len(set(labels)) == 2
+        # Unnamed variant (same name, different config): positional
+        # suffixes keep rows distinct.
+        unnamed = base + base.map(lambda s: s.with_(model=MIXTRAL_8X7B.scaled(num_layers=16)))
+        labels = [
+            r.label
+            for r in SweepRunner(cache=SimulationCache()).to_result("demo", "t", unnamed).rows
+        ]
+        assert len(set(labels)) == 2
+
+
+class TestRegressionAgainstSeed:
+    def test_fig8_rows_identical_to_direct_simulator(self):
+        """The refactored fig8 must reproduce the seed implementation's
+        rows exactly: same labels, same order, bitwise-equal values."""
+        seed_grid = [
+            (MIXTRAL_8X7B, "commonsense15k", True, 1), (MIXTRAL_8X7B, "commonsense15k", True, 2),
+            (MIXTRAL_8X7B, "commonsense15k", False, 1), (MIXTRAL_8X7B, "commonsense15k", False, 2),
+            (MIXTRAL_8X7B, "commonsense15k", False, 8), (MIXTRAL_8X7B, "math14k", True, 1),
+            (MIXTRAL_8X7B, "math14k", False, 1), (MIXTRAL_8X7B, "math14k", False, 3),
+            (BLACKMAMBA_2_8B, "commonsense15k", True, 1), (BLACKMAMBA_2_8B, "commonsense15k", True, 6),
+            (BLACKMAMBA_2_8B, "commonsense15k", False, 1), (BLACKMAMBA_2_8B, "commonsense15k", False, 6),
+            (BLACKMAMBA_2_8B, "commonsense15k", False, 20), (BLACKMAMBA_2_8B, "math14k", True, 1),
+            (BLACKMAMBA_2_8B, "math14k", True, 2), (BLACKMAMBA_2_8B, "math14k", False, 1),
+            (BLACKMAMBA_2_8B, "math14k", False, 2), (BLACKMAMBA_2_8B, "math14k", False, 8),
+        ]
+        sim = GPUSimulator(A40)
+        seed_rows = [
+            (
+                f"{cfg.family}_{dataset}_{'D' if dense else 'S'}{batch}",
+                sim.throughput(cfg, batch, fig8_throughput.THROUGHPUT_SEQ_LEN[dataset],
+                               dense=dense),
+            )
+            for cfg, dataset, dense, batch in seed_grid
+        ]
+        result = fig8_throughput.run(cache=SimulationCache())
+        assert [(r.label, r.measured) for r in result.rows[: len(seed_rows)]] == seed_rows
+
+    def test_fig8_parallel_identical(self):
+        serial = fig8_throughput.run(cache=SimulationCache(), jobs=1)
+        parallel = fig8_throughput.run(cache=SimulationCache(), jobs=4)
+        assert [(r.label, r.measured) for r in serial.rows] == [
+            (r.label, r.measured) for r in parallel.rows
+        ]
+
+    def test_table3_cells_exact(self):
+        result = table3_maxbatch.run()
+        assert all(r.measured == r.paper for r in result.rows)
+
+    def test_cost_model_identical_on_other_gpu(self):
+        from repro.core import FineTuningCostModel
+
+        cached = FineTuningCostModel.for_dataset(
+            MIXTRAL_8X7B, "gsm8k", dense=False, cache=SimulationCache()
+        ).estimate(A100_80, num_queries=1000)
+        fresh = FineTuningCostModel.for_dataset(
+            MIXTRAL_8X7B, "gsm8k", dense=False, cache=SimulationCache()
+        ).estimate(A100_80, num_queries=1000)
+        assert cached == fresh
+
+
+class TestWarmReport:
+    def test_second_report_pass_simulates_nothing(self):
+        """Acceptance criterion: rerunning the full non-training report in
+        one process performs zero redundant simulate_step calls — the miss
+        counter must not move on the second pass."""
+        first = report.run_report(include_training=False)
+        misses_after_first = default_cache().stats().misses
+        second = report.run_report(include_training=False)
+        stats = default_cache().stats()
+        assert stats.misses == misses_after_first
+        assert stats.hits >= misses_after_first
+        # The reports themselves agree row-for-row.
+        assert [l for l in first.splitlines() if not l.startswith("== scenario cache")] == [
+            l for l in second.splitlines() if not l.startswith("== scenario cache")
+        ]
+
+    def test_json_payload_roundtrips(self):
+        import json
+
+        payload = report.report_payload(include_training=False)
+        decoded = json.loads(json.dumps(payload))
+        ids = {e["id"] for e in decoded["experiments"]}
+        assert {"fig8", "table3", "table4", "fig14", "fig15"} <= ids
+        assert decoded["skipped"] == ["fig3", "fig11"]
+        assert decoded["cache"]["misses"] >= 0

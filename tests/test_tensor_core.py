@@ -34,6 +34,12 @@ class TestTensorConstruction:
     def test_item_on_scalar(self):
         assert Tensor([3.5]).item() == pytest.approx(3.5)
 
+    def test_item_on_multi_element_raises_clear_error(self):
+        with pytest.raises(ValueError, match=r"item\(\) requires a 1-element tensor"):
+            Tensor([1.0, 2.0]).item()
+        with pytest.raises(ValueError, match=r"got shape \(2, 2\)"):
+            Tensor([[1.0, 2.0], [3.0, 4.0]]).item()
+
     def test_factories(self):
         assert zeros((2, 2)).data.sum() == 0
         assert ones((2, 2)).data.sum() == 4
