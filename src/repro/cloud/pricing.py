@@ -49,6 +49,11 @@ class PriceCatalog:
     def gpus(self, provider: str = "cudo") -> List[str]:
         return sorted(g for p, g in self._prices if p == provider)
 
+    def providers_for(self, gpu_name: str) -> List[str]:
+        """Providers renting ``gpu_name``, sorted for deterministic
+        iteration (the cluster planner sweeps these)."""
+        return sorted(p for p, g in self._prices if g == gpu_name)
+
     def add(self, price: GPUPrice) -> None:
         self._prices[(price.provider, price.gpu_name)] = price
 
@@ -61,9 +66,12 @@ DEFAULT_CATALOG = PriceCatalog(
         GPUPrice("H100-80GB", "cudo", 2.10),
         # A100-40GB is not in Table IV; contemporary CUDO listing.
         GPUPrice("A100-40GB", "cudo", 1.29),
-        # Representative on-demand rates for an alternative provider, to
-        # demonstrate the paper's "easily adjust the renting cost" claim.
+        # Representative on-demand rates for alternative providers, to
+        # demonstrate the paper's "easily adjust the renting cost" claim
+        # and give the cluster planner a real provider axis.
         GPUPrice("A100-80GB", "lambda", 1.79),
         GPUPrice("H100-80GB", "lambda", 2.49),
+        GPUPrice("A40", "runpod", 0.44),
+        GPUPrice("A100-80GB", "runpod", 1.59),
     ]
 )

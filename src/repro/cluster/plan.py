@@ -1,0 +1,161 @@
+"""Plan a multi-GPU fine-tune: Pareto cost/time frontier from the CLI.
+
+Usage::
+
+    python -m repro.cluster.plan --model mixtral --gpu a40 --deadline-hours 24 --json
+    python -m repro.cluster.plan --model blackmamba --budget 50
+    python -m repro.cluster.plan --model mixtral --dataset openorca --jobs 4
+
+Mirrors ``repro.experiments.report``: ``--json`` for machine-readable
+output, ``--jobs`` for parallel sweeps (order-independent by design — the
+plan is byte-identical at any job count). Model and GPU names are
+resolved case-insensitively with unique-prefix matching, so ``--model
+mixtral --gpu a40`` means the paper-scale Mixtral on the A40.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import List, Optional, Sequence
+
+from ..gpu.multigpu import INTERCONNECTS
+from ..gpu.specs import GPU_REGISTRY
+from ..models.registry import MODEL_REGISTRY
+from ..serialization import jsonify
+from .planner import DEFAULT_INTERCONNECTS, DEFAULT_NUM_GPUS, ClusterPlanner
+
+# Family shorthands resolve to the paper-scale configs (never the tiny
+# training stand-ins, which share the family prefix).
+MODEL_ALIASES = {
+    "mixtral": "mixtral-8x7b",
+    "blackmamba": "blackmamba-2.8b",
+}
+
+
+def _resolve(name: str, registry, kind: str, aliases=None) -> str:
+    """Registry entry for ``name``: alias, exact (case-insensitive)
+    match, or unique prefix — with an ambiguity/availability hint."""
+    lowered = name.lower()
+    if aliases and lowered in aliases:
+        return aliases[lowered]
+    table = {entry.lower(): entry for entry in registry}
+    if lowered in table:
+        return table[lowered]
+    matches = sorted(entry for low, entry in table.items() if low.startswith(lowered))
+    if len(matches) == 1:
+        return matches[0]
+    hint = f"ambiguous between {matches}" if matches else f"available: {sorted(registry)}"
+    raise KeyError(f"unknown {kind} {name!r}; {hint}")
+
+
+def resolve_model_key(name: str) -> str:
+    """Model registry key: family alias ('mixtral'), exact key, or
+    unique prefix."""
+    return _resolve(name, MODEL_REGISTRY, "model", MODEL_ALIASES)
+
+
+def resolve_gpu_name(name: str) -> str:
+    """GPU registry name: exact or unique prefix, so ``a40`` and ``h100``
+    work while ``a100`` demands a suffix."""
+    return _resolve(name, GPU_REGISTRY, "GPU")
+
+
+def _parse_num_gpus(values: Optional[List[str]]) -> Sequence[int]:
+    if not values:
+        return DEFAULT_NUM_GPUS
+    sizes: List[int] = []
+    for value in values:
+        for part in value.split(","):
+            if not part:
+                continue
+            size = int(part)  # ValueError surfaces via parser.error in main
+            if size < 1:
+                raise ValueError(f"cluster sizes must be >= 1, got {size}")
+            sizes.append(size)
+    if not sizes:
+        raise ValueError("--num-gpus given but no cluster sizes parsed")
+    return tuple(dict.fromkeys(sizes))  # dedupe, preserving order
+
+
+def _parse_densities(density: str) -> Sequence[bool]:
+    return {"sparse": (False,), "dense": (True,), "both": (False, True)}[density]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster.plan",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument("--model", required=True,
+                        help="model to plan for (family alias like 'mixtral' or registry key)")
+    parser.add_argument("--dataset", default="math14k",
+                        help="dataset supplying seq_len and query count (default: math14k)")
+    parser.add_argument("--gpu", action="append", metavar="NAME",
+                        help="candidate GPU (repeatable; default: every priced GPU)")
+    parser.add_argument("--provider", action="append", metavar="NAME",
+                        help="cloud provider (repeatable; default: all in the catalog)")
+    parser.add_argument("--num-gpus", action="append", metavar="N[,N...]",
+                        help=f"cluster sizes to sweep (default: {','.join(map(str, DEFAULT_NUM_GPUS))})")
+    parser.add_argument("--interconnect", action="append",
+                        choices=sorted(INTERCONNECTS),
+                        help="interconnect(s) to sweep (default: all)")
+    parser.add_argument("--density", choices=("sparse", "dense", "both"), default="both",
+                        help="expert routing(s) to sweep (default: both)")
+    parser.add_argument("--batch-size", action="append", type=int, metavar="B",
+                        help="explicit per-GPU batch size(s); default: per-cell memory maximum")
+    parser.add_argument("--epochs", type=int, default=10)
+    parser.add_argument("--num-queries", type=int, default=None,
+                        help="override the dataset's query count")
+    parser.add_argument("--seq-len", type=int, default=None,
+                        help="override the dataset's padded sequence length")
+    parser.add_argument("--deadline-hours", type=float, default=None,
+                        help="wall-clock target the recommendation must meet")
+    parser.add_argument("--budget", type=float, default=None, dest="budget_dollars",
+                        help="dollar target the recommendation must meet")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker threads for the trace sweep (plan output is "
+                             "identical at any job count)")
+    parser.add_argument("--top", type=int, default=10,
+                        help="frontier rows in the text table (default: 10)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the plan as JSON instead of a table")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        model_key = resolve_model_key(args.model)
+        gpus = [resolve_gpu_name(g) for g in args.gpu] if args.gpu else None
+        num_gpus = _parse_num_gpus(args.num_gpus)
+    except (KeyError, ValueError) as exc:
+        parser.error(str(exc))
+    planner = ClusterPlanner(
+        model_key,
+        dataset=args.dataset,
+        epochs=args.epochs,
+        num_queries=args.num_queries,
+        seq_len=args.seq_len,
+        jobs=args.jobs,
+    )
+    plan = planner.plan(
+        gpus=gpus,
+        providers=args.provider,
+        num_gpus=num_gpus,
+        interconnects=tuple(args.interconnect) if args.interconnect else DEFAULT_INTERCONNECTS,
+        densities=_parse_densities(args.density),
+        batch_sizes=tuple(args.batch_size) if args.batch_size else None,
+        deadline_hours=args.deadline_hours,
+        budget_dollars=args.budget_dollars,
+    )
+    if args.as_json:
+        print(json.dumps(jsonify(plan.to_payload()), indent=2))
+    else:
+        print(plan.to_table(top=args.top))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

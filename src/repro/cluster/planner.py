@@ -1,0 +1,408 @@
+"""Pareto cost/time planning over the cluster space.
+
+The paper answers "what will this fine-tune cost?" for one GPU at a
+time (Table IV); the planner answers it for clusters, *before any
+training happens*: given a model, a dataset and a target (deadline
+hours and/or budget dollars), it sweeps
+
+    GPUs x providers x cluster sizes x interconnects x densities
+
+through the scenario engine, applies the data-parallel all-reduce model
+to each (cached) replica trace, prices the result against the provider
+catalog, and returns
+
+* every candidate, deterministically ordered;
+* the Pareto frontier of (wall-clock hours, total dollars) — the
+  configurations where going faster necessarily costs more;
+* the cheapest and fastest configurations meeting the target.
+
+Determinism: candidate construction is pure and ordering is by explicit
+sort keys, so ``jobs > 1`` (which only parallelizes the trace sweep)
+never changes a plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..cloud.pricing import DEFAULT_CATALOG, PriceCatalog
+from ..core.cost import dataset_num_queries, wall_clock_hours
+from ..gpu.multigpu import (
+    Interconnect,
+    MultiGPUEstimate,
+    estimate_from_trace,
+    get_interconnect,
+)
+from ..gpu.specs import GPU_REGISTRY, GPUSpec, get_gpu
+from ..memory.estimator import EFFECTIVE_SEQ_LEN, max_batch_size
+from ..models.registry import get_model_spec
+from ..scenarios import ScenarioGrid, SimulationCache, SweepRunner, resolve_cache
+from ..scenarios.scenario import ModelConfig
+from .scenario import ClusterScenario
+
+DEFAULT_NUM_GPUS: Tuple[int, ...] = (1, 2, 4, 8)
+DEFAULT_INTERCONNECTS: Tuple[str, ...] = ("nvlink", "pcie-gen4")
+
+
+@dataclass(frozen=True)
+class ClusterCandidate:
+    """One priced point of the plan space: a cluster scenario at one
+    provider, with its data-parallel estimate and cost projection."""
+
+    scenario: ClusterScenario
+    provider: str
+    dollars_per_gpu_hour: float
+    estimate: MultiGPUEstimate
+    num_queries: int
+    epochs: int
+
+    @property
+    def total_queries(self) -> int:
+        return self.num_queries * self.epochs
+
+    @property
+    def hours(self) -> float:
+        return wall_clock_hours(self.total_queries, self.estimate.queries_per_second)
+
+    @property
+    def dollars(self) -> float:
+        return self.hours * self.dollars_per_gpu_hour * self.scenario.num_gpus
+
+    @property
+    def label(self) -> str:
+        return f"{self.scenario.label(include_gpu=True)}_{self.provider}"
+
+    def meets(
+        self,
+        deadline_hours: Optional[float] = None,
+        budget_dollars: Optional[float] = None,
+    ) -> bool:
+        if deadline_hours is not None and self.hours > deadline_hours:
+            return False
+        if budget_dollars is not None and self.dollars > budget_dollars:
+            return False
+        return True
+
+    def sort_key(self) -> Tuple:
+        """Deterministic total order: fast before slow, cheap before
+        expensive, label as the final tie-break."""
+        return (self.hours, self.dollars, self.label)
+
+    def to_dict(self) -> Dict[str, object]:
+        scenario = self.scenario
+        return {
+            "label": self.label,
+            "gpu": scenario.gpu_spec.name,
+            "provider": self.provider,
+            "num_gpus": scenario.num_gpus,
+            "interconnect": scenario.interconnect_spec.name,
+            "dense": scenario.dense,
+            "per_gpu_batch": scenario.batch_size,
+            "global_batch": scenario.global_batch_size(),
+            "dollars_per_gpu_hour": self.dollars_per_gpu_hour,
+            "queries_per_second": self.estimate.queries_per_second,
+            "scaling_efficiency": self.estimate.scaling_efficiency,
+            "allreduce_seconds": self.estimate.allreduce_seconds,
+            "hours": self.hours,
+            "dollars": self.dollars,
+        }
+
+
+def pareto_frontier(candidates: Sequence[ClusterCandidate]) -> List[ClusterCandidate]:
+    """The non-dominated candidates under (minimize hours, minimize
+    dollars), ordered fastest-first. A candidate survives iff it is
+    strictly cheaper than every candidate at least as fast as it — weak
+    dominance, so a slower configuration that saves no money is dropped
+    and ties collapse to the first in deterministic sort order."""
+    frontier: List[ClusterCandidate] = []
+    best_dollars = float("inf")
+    for candidate in sorted(candidates, key=ClusterCandidate.sort_key):
+        if candidate.dollars < best_dollars:
+            frontier.append(candidate)
+            best_dollars = candidate.dollars
+    return frontier
+
+
+@dataclass
+class ClusterPlan:
+    """The planner's full answer for one model/dataset/target."""
+
+    model_name: str
+    dataset: Optional[str]
+    seq_len: int
+    num_queries: int
+    epochs: int
+    deadline_hours: Optional[float]
+    budget_dollars: Optional[float]
+    candidates: List[ClusterCandidate]
+    frontier: List[ClusterCandidate]
+    cheapest: Optional[ClusterCandidate]
+    fastest: Optional[ClusterCandidate]
+    skipped: List[str] = field(default_factory=list)
+
+    @property
+    def feasible(self) -> List[ClusterCandidate]:
+        return [
+            c for c in self.candidates
+            if c.meets(self.deadline_hours, self.budget_dollars)
+        ]
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-serializable plan (``--json``), deterministically ordered."""
+        return {
+            "model": self.model_name,
+            "dataset": self.dataset,
+            "seq_len": self.seq_len,
+            "num_queries": self.num_queries,
+            "epochs": self.epochs,
+            "deadline_hours": self.deadline_hours,
+            "budget_dollars": self.budget_dollars,
+            "num_candidates": len(self.candidates),
+            "num_feasible": len(self.feasible),
+            "frontier": [c.to_dict() for c in self.frontier],
+            "cheapest": self.cheapest.to_dict() if self.cheapest else None,
+            "fastest": self.fastest.to_dict() if self.fastest else None,
+            "skipped": list(self.skipped),
+        }
+
+    def to_table(self, top: int = 10) -> str:
+        """Frontier + recommendation as a report-style text table."""
+        lines = [
+            f"== cluster plan: {self.model_name} on {self.dataset or f'seq {self.seq_len}'} "
+            f"({self.num_queries} queries x {self.epochs} epochs) ==",
+        ]
+        target = []
+        if self.deadline_hours is not None:
+            target.append(f"deadline {self.deadline_hours:g} h")
+        if self.budget_dollars is not None:
+            target.append(f"budget ${self.budget_dollars:g}")
+        lines.append(
+            f"target: {', '.join(target) if target else 'none (full frontier)'}; "
+            f"{len(self.feasible)}/{len(self.candidates)} candidates feasible"
+        )
+        width = max([len(c.label) for c in self.frontier[:top]] + [12])
+        lines.append(
+            f"{'pareto-optimal configuration':<{width}}  {'hours':>8}  {'dollars':>9}  "
+            f"{'q/s':>6}  {'eff':>5}"
+        )
+        for candidate in self.frontier[:top]:
+            lines.append(
+                f"{candidate.label:<{width}}  {candidate.hours:>8.2f}  "
+                f"{candidate.dollars:>9.2f}  {candidate.estimate.queries_per_second:>6.2f}  "
+                f"{candidate.estimate.scaling_efficiency:>5.2f}"
+            )
+        if len(self.frontier) > top:
+            lines.append(f"... {len(self.frontier) - top} more frontier points (--top)")
+        if self.cheapest is not None:
+            lines.append(
+                f"cheapest feasible: {self.cheapest.label} — "
+                f"${self.cheapest.dollars:.2f} in {self.cheapest.hours:.2f} h"
+            )
+        else:
+            lines.append("cheapest feasible: none — no configuration meets the target")
+        if self.fastest is not None and self.fastest is not self.cheapest:
+            lines.append(
+                f"fastest feasible:  {self.fastest.label} — "
+                f"{self.fastest.hours:.2f} h for ${self.fastest.dollars:.2f}"
+            )
+        for reason in self.skipped:
+            lines.append(f"skipped: {reason}")
+        return "\n".join(lines)
+
+
+class ClusterPlanner:
+    """Sweeps the cluster space through the scenario engine and prices it.
+
+    ``model`` accepts a registry key or a config; the dataset supplies the
+    padded sequence length and query count unless overridden. All
+    simulation flows through the (shared) :class:`SimulationCache`, so a
+    warm planner pass — and every cluster size beyond the first within a
+    cold pass — performs zero redundant ``simulate_step`` calls.
+    """
+
+    def __init__(
+        self,
+        model: Union[str, ModelConfig],
+        dataset: Optional[str] = "math14k",
+        epochs: int = 10,
+        num_queries: Optional[int] = None,
+        seq_len: Optional[int] = None,
+        catalog: Optional[PriceCatalog] = None,
+        cache: Optional[SimulationCache] = None,
+        jobs: int = 1,
+    ) -> None:
+        self.cfg = get_model_spec(model).config if isinstance(model, str) else model
+        self.dataset = dataset
+        if seq_len is None:
+            if dataset is None:
+                raise ValueError("ClusterPlanner needs a dataset or an explicit seq_len")
+            if dataset not in EFFECTIVE_SEQ_LEN:
+                raise KeyError(
+                    f"unknown dataset {dataset!r}; known: {sorted(EFFECTIVE_SEQ_LEN)}"
+                )
+            seq_len = EFFECTIVE_SEQ_LEN[dataset]
+        self.seq_len = seq_len
+        if num_queries is None:
+            if dataset is None:
+                raise ValueError("ClusterPlanner needs a dataset or an explicit num_queries")
+            num_queries = dataset_num_queries(dataset)
+        self.num_queries = num_queries
+        self.epochs = epochs
+        self.catalog = catalog if catalog is not None else DEFAULT_CATALOG
+        self.cache = resolve_cache(cache)
+        self.jobs = jobs
+
+    # ------------------------------------------------------------------
+    def _resolve_gpus(
+        self, gpus: Optional[Sequence[Union[str, GPUSpec]]], providers: Sequence[str]
+    ) -> List[GPUSpec]:
+        if gpus is not None:
+            return [get_gpu(g) if isinstance(g, str) else g for g in gpus]
+        # Default: every registered GPU priced by at least one requested
+        # provider, in deterministic name order.
+        priced = {
+            name for provider in providers for name in self.catalog.gpus(provider)
+        }
+        return [GPU_REGISTRY[name] for name in sorted(priced) if name in GPU_REGISTRY]
+
+    def scenarios(
+        self,
+        gpus: Optional[Sequence[Union[str, GPUSpec]]] = None,
+        providers: Optional[Sequence[str]] = None,
+        num_gpus: Sequence[int] = DEFAULT_NUM_GPUS,
+        interconnects: Sequence[Union[str, Interconnect]] = DEFAULT_INTERCONNECTS,
+        densities: Sequence[bool] = (False, True),
+        batch_sizes: Optional[Sequence[int]] = None,
+    ) -> Tuple[ScenarioGrid, List[str]]:
+        """The candidate grid plus human-readable skip reasons.
+
+        ``batch_sizes=None`` uses the memory-oracle per-device maximum for
+        each (GPU, density) cell — the throughput-optimal choice; explicit
+        batch sizes are kept only where they fit. Cells where the model
+        does not fit at batch 1 are skipped, not failed.
+        """
+        providers = list(providers) if providers is not None else self.catalog.providers()
+        resolved_gpus = self._resolve_gpus(gpus, providers)
+        # Duplicate axis values (e.g. --num-gpus 4,4, or "nvlink" next to
+        # NVLINK) would duplicate every candidate; collapse them while
+        # preserving order.
+        sizes = list(dict.fromkeys(num_gpus))
+        links = list(dict.fromkeys(get_interconnect(link) for link in interconnects))
+        scenarios: List[ClusterScenario] = []
+        skipped: List[str] = []
+        for gpu in resolved_gpus:
+            # Filter unpriced (GPU, provider) pairs *before* simulating:
+            # without a price there is nothing to rank, so tracing the
+            # replica would be wasted work ending in an empty, unexplained
+            # plan.
+            if not set(self.catalog.providers_for(gpu.name)).intersection(providers):
+                skipped.append(
+                    f"{gpu.name} is not priced by provider(s) {sorted(providers)}"
+                )
+                continue
+            for dense in densities:
+                mbs = max_batch_size(self.cfg, gpu, self.seq_len, dense)
+                if mbs < 1:
+                    skipped.append(
+                        f"{self.cfg.name} ({'dense' if dense else 'sparse'}) does not fit "
+                        f"on {gpu.name} at seq_len={self.seq_len}"
+                    )
+                    continue
+                if batch_sizes is None:
+                    batches: List[int] = [mbs]
+                else:
+                    batches = [b for b in batch_sizes if 1 <= b <= mbs]
+                    if not batches:
+                        skipped.append(
+                            f"no requested batch size fits on {gpu.name} "
+                            f"({'dense' if dense else 'sparse'}, max {mbs})"
+                        )
+                        continue
+                for batch in batches:
+                    for n in sizes:
+                        for link in links:
+                            scenarios.append(
+                                ClusterScenario(
+                                    model=self.cfg,
+                                    gpu=gpu,
+                                    batch_size=batch,
+                                    seq_len=self.seq_len,
+                                    dense=dense,
+                                    dataset=self.dataset,
+                                    num_gpus=n,
+                                    interconnect=link,
+                                )
+                            )
+        return ScenarioGrid(scenarios), skipped
+
+    def plan(
+        self,
+        gpus: Optional[Sequence[Union[str, GPUSpec]]] = None,
+        providers: Optional[Sequence[str]] = None,
+        num_gpus: Sequence[int] = DEFAULT_NUM_GPUS,
+        interconnects: Sequence[Union[str, Interconnect]] = DEFAULT_INTERCONNECTS,
+        densities: Sequence[bool] = (False, True),
+        batch_sizes: Optional[Sequence[int]] = None,
+        deadline_hours: Optional[float] = None,
+        budget_dollars: Optional[float] = None,
+    ) -> ClusterPlan:
+        """Sweep, price, and rank the full cluster space."""
+        providers = (
+            list(dict.fromkeys(providers)) if providers is not None
+            else self.catalog.providers()
+        )
+        grid, skipped = self.scenarios(
+            gpus=gpus,
+            providers=providers,
+            num_gpus=num_gpus,
+            interconnects=interconnects,
+            densities=densities,
+            batch_sizes=batch_sizes,
+        )
+        points = SweepRunner(cache=self.cache, jobs=self.jobs).run(grid)
+        candidates: List[ClusterCandidate] = []
+        for point in points:
+            scenario = point.scenario
+            assert isinstance(scenario, ClusterScenario)
+            estimate = estimate_from_trace(
+                scenario.config, point.trace, scenario.num_gpus, scenario.interconnect_spec
+            )
+            priced = set(self.catalog.providers_for(scenario.gpu_spec.name))
+            for provider in providers:
+                if provider not in priced:
+                    continue  # this provider does not rent this GPU
+                rate = self.catalog.dollars_per_hour(scenario.gpu_spec.name, provider)
+                candidates.append(
+                    ClusterCandidate(
+                        scenario=scenario,
+                        provider=provider,
+                        dollars_per_gpu_hour=rate,
+                        estimate=estimate,
+                        num_queries=self.num_queries,
+                        epochs=self.epochs,
+                    )
+                )
+        candidates.sort(key=ClusterCandidate.sort_key)
+        frontier = pareto_frontier(candidates)
+        feasible = [c for c in candidates if c.meets(deadline_hours, budget_dollars)]
+        cheapest = min(
+            feasible, key=lambda c: (c.dollars, c.hours, c.label), default=None
+        )
+        fastest = min(
+            feasible, key=lambda c: (c.hours, c.dollars, c.label), default=None
+        )
+        return ClusterPlan(
+            model_name=self.cfg.name,
+            dataset=self.dataset,
+            seq_len=self.seq_len,
+            num_queries=self.num_queries,
+            epochs=self.epochs,
+            deadline_hours=deadline_hours,
+            budget_dollars=budget_dollars,
+            candidates=candidates,
+            frontier=frontier,
+            cheapest=cheapest,
+            fastest=fastest,
+            skipped=skipped,
+        )

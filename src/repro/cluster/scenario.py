@@ -1,0 +1,139 @@
+"""Cluster scenarios: the multi-GPU extension of the scenario space.
+
+A :class:`ClusterScenario` adds the two data-parallel axes — ``num_gpus``
+and ``interconnect`` — to :class:`~repro.scenarios.scenario.Scenario`.
+The per-device step trace does not depend on either axis (every replica
+runs the identical step; only the gradient all-reduce differs), so the
+inherited :meth:`Scenario.key` deliberately excludes them: the
+:class:`~repro.scenarios.cache.SimulationCache` memoizes one *replica*
+trace that every cluster size and interconnect shares. Scaling a sweep
+from 1 to 8 GPUs therefore never re-simulates the replica.
+
+Cluster-level identity (for derived results such as plan candidates)
+lives in :meth:`ClusterScenario.cluster_key`, which appends the two
+cluster axes to the replica key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple, Union
+
+from ..gpu.multigpu import (
+    Interconnect,
+    MultiGPUEstimate,
+    estimate_from_trace,
+    get_interconnect,
+)
+from ..gpu.specs import GPUSpec
+from ..scenarios import Scenario, ScenarioGrid, SimulationCache, freeze_overrides, resolve_cache
+from ..scenarios.scenario import ModelConfig
+
+
+@dataclass(frozen=True)
+class ClusterScenario(Scenario):
+    """One hashable point of the (replica scenario x cluster) space.
+
+    ``interconnect`` accepts a registry key (``"nvlink"``,
+    ``"pcie-gen4"``) or an :class:`Interconnect` instance; it is
+    normalized to the instance on construction so equal scenarios hash
+    identically regardless of spelling.
+    """
+
+    num_gpus: int = 1
+    interconnect: Union[str, Interconnect] = "nvlink"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.num_gpus < 1:
+            raise ValueError(f"num_gpus must be >= 1, got {self.num_gpus}")
+        object.__setattr__(self, "interconnect", get_interconnect(self.interconnect))
+
+    # ------------------------------------------------------------------
+    # Resolution / identity
+    # ------------------------------------------------------------------
+    @property
+    def interconnect_spec(self) -> Interconnect:
+        """The resolved interconnect (normalization makes this the field
+        itself; kept as a property to mirror ``gpu_spec``)."""
+        return self.interconnect  # type: ignore[return-value]
+
+    def replica(self) -> Scenario:
+        """The single-GPU scenario every replica of this cluster runs.
+        Shares :meth:`key` with ``self``, so both hit the same cached
+        trace."""
+        return Scenario(
+            model=self.model,
+            gpu=self.gpu,
+            batch_size=self.batch_size,
+            seq_len=self.seq_len,
+            dense=self.dense,
+            dataset=self.dataset,
+            overrides=self.overrides,
+        )
+
+    def cluster_key(self) -> Tuple:
+        """Cluster-level identity: the replica key plus the cluster axes.
+        Use this (not :meth:`key`) to memoize derived results that depend
+        on the all-reduce."""
+        return self.key() + (self.num_gpus, self.interconnect_spec)
+
+    def label(self, include_gpu: bool = False, include_seq_len: bool = False) -> str:
+        base = super().label(include_gpu=include_gpu, include_seq_len=include_seq_len)
+        return f"{base}_x{self.num_gpus}_{self.interconnect_spec.name}"
+
+    def qualified_label(self) -> str:
+        return f"{super().qualified_label()}_x{self.num_gpus}_{self.interconnect_spec.name}"
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def estimate(self, cache: Optional[SimulationCache] = None) -> MultiGPUEstimate:
+        """Data-parallel estimate at this point, built from the (cached)
+        replica trace plus the interconnect's all-reduce model."""
+        cache = resolve_cache(cache)
+        return estimate_from_trace(
+            self.config, cache.simulate(self), self.num_gpus, self.interconnect_spec
+        )
+
+    def global_batch_size(self) -> int:
+        return self.num_gpus * self.batch_size
+
+
+def cluster_product(
+    models: Sequence[Union[str, ModelConfig]],
+    gpus: Sequence[Union[str, GPUSpec]],
+    batch_sizes: Sequence[int] = (1,),
+    datasets: Sequence[Optional[str]] = (None,),
+    seq_lens: Sequence[Optional[int]] = (None,),
+    dense: Sequence[bool] = (False,),
+    num_gpus: Sequence[int] = (1,),
+    interconnects: Sequence[Union[str, Interconnect]] = ("nvlink",),
+    overrides=(),
+) -> ScenarioGrid:
+    """Cartesian product over the cluster space, mirroring
+    :meth:`ScenarioGrid.product` with the two cluster axes innermost —
+    replica axes vary slowest, so all cluster variants of one replica are
+    consecutive and share one simulation."""
+    frozen = freeze_overrides(overrides)
+    return ScenarioGrid(
+        ClusterScenario(
+            model=model,
+            gpu=gpu,
+            batch_size=batch,
+            seq_len=seq_len,
+            dense=is_dense,
+            dataset=dataset,
+            overrides=frozen,
+            num_gpus=n,
+            interconnect=link,
+        )
+        for model in models
+        for dataset in datasets
+        for seq_len in seq_lens
+        for is_dense in dense
+        for batch in batch_sizes
+        for gpu in gpus
+        for n in num_gpus
+        for link in interconnects
+    )

@@ -8,7 +8,7 @@
 """
 
 from .batchsize import BatchSizeModel, BatchSizeObservation, PAPER_BATCH_COEFFICIENTS
-from .cost import CostEstimate, FineTuningCostModel, dataset_num_queries
+from .cost import CostEstimate, FineTuningCostModel, dataset_num_queries, wall_clock_hours
 from .fitting import (
     collect_batch_size_observations,
     collect_throughput_observations,
@@ -29,4 +29,5 @@ __all__ = [
     "dataset_num_queries",
     "fit_dense_sparse",
     "observations_from_sweep",
+    "wall_clock_hours",
 ]

@@ -20,11 +20,20 @@ from ..data.registry import DATASET_STATS
 from ..gpu.specs import GPUSpec
 from ..memory.estimator import EFFECTIVE_SEQ_LEN, max_batch_size
 from ..models.config import BlackMambaConfig, MixtralConfig
-from ..scenarios import Scenario, SimulationCache, default_cache
+from ..scenarios import Scenario, SimulationCache, resolve_cache
 from .fitting import collect_throughput_observations
 from .throughput import ThroughputModel
 
 ModelConfig = Union[MixtralConfig, BlackMambaConfig]
+
+
+def wall_clock_hours(total_queries: int, throughput_qps: float) -> float:
+    """Hours to push ``total_queries`` through at ``throughput_qps``
+    (infinite when the configuration produces no throughput). Shared by
+    the Table IV estimates and the cluster planner's projections."""
+    if throughput_qps <= 0:
+        return float("inf")
+    return total_queries / throughput_qps / 3600.0
 
 
 @dataclass(frozen=True)
@@ -46,9 +55,7 @@ class CostEstimate:
 
     @property
     def hours(self) -> float:
-        if self.throughput_qps <= 0:
-            return float("inf")
-        return self.total_queries / self.throughput_qps / 3600.0
+        return wall_clock_hours(self.total_queries, self.throughput_qps)
 
     @property
     def dollars(self) -> float:
@@ -75,7 +82,7 @@ class FineTuningCostModel:
         self.seq_len = seq_len
         self.dense = dense
         self.catalog = catalog if catalog is not None else DEFAULT_CATALOG
-        self.cache = cache if cache is not None else default_cache()
+        self.cache = resolve_cache(cache)
         self.jobs = jobs
 
     @classmethod

@@ -7,6 +7,7 @@ the measured-vs-paper tables collected in EXPERIMENTS.md.
 """
 
 from . import (
+    cluster_plan,
     fig2_seqlen,
     fig3_accuracy,
     fig4_stages,
@@ -45,6 +46,7 @@ ALL_EXPERIMENTS = {
     "fig15": fig15_fit_gpus,
     "table4": table4_cost,
     "seqlen": seqlen_sensitivity,
+    "cluster": cluster_plan,
 }
 
 __all__ = ["ALL_EXPERIMENTS", "ExperimentResult", "ExperimentRow"]

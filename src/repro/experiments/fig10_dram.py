@@ -10,24 +10,24 @@ from __future__ import annotations
 
 from ..gpu import A40
 from ..models import BLACKMAMBA_2_8B, MIXTRAL_8X7B
-from ..scenarios import SimulationCache, default_cache
+from ..scenarios import SimulationCache, resolve_cache
 from .common import ExperimentResult
 from .fig4_stages import BLACKMAMBA_POINTS, MIXTRAL_POINTS, SEQ_LEN
 
 
 def run(gpu=A40, cache: SimulationCache | None = None) -> ExperimentResult:
     result = ExperimentResult("fig10", "DRAM bandwidth utilization of MoE kernels (%)")
-    sim = cache if cache is not None else default_cache()
+    cache = resolve_cache(cache)
     for cfg, points in ((MIXTRAL_8X7B, MIXTRAL_POINTS), (BLACKMAMBA_2_8B, BLACKMAMBA_POINTS)):
         for dense, batch in points:
-            trace = sim.trace(cfg, gpu, batch, SEQ_LEN, dense=dense)
+            trace = cache.trace(cfg, gpu, batch, SEQ_LEN, dense=dense)
             tag = f"{cfg.family}_{'D' if dense else 'S'}{batch}"
             for name, value in sorted(trace.dram_utilization_by_kernel("moe").items()):
                 result.add(f"{tag}_{name}", value)
             result.add(f"{tag}_time_weighted", trace.time_weighted_dram("moe"))
 
-    tw_s1 = sim.trace(MIXTRAL_8X7B, gpu, 1, SEQ_LEN, dense=False).time_weighted_dram("moe")
-    tw_s32 = sim.trace(MIXTRAL_8X7B, gpu, 32, SEQ_LEN, dense=False).time_weighted_dram("moe")
+    tw_s1 = cache.trace(MIXTRAL_8X7B, gpu, 1, SEQ_LEN, dense=False).time_weighted_dram("moe")
+    tw_s32 = cache.trace(MIXTRAL_8X7B, gpu, 32, SEQ_LEN, dense=False).time_weighted_dram("moe")
     result.add("mixtral_tw_dram_drop_s1_to_s32", tw_s1 - tw_s32,
                note="positive: memory-bound -> compute-bound transition")
     return result

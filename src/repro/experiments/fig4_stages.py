@@ -10,7 +10,7 @@ from typing import List, Tuple
 
 from ..gpu import A40
 from ..models import BLACKMAMBA_2_8B, MIXTRAL_8X7B
-from ..scenarios import SimulationCache, default_cache
+from ..scenarios import SimulationCache, resolve_cache
 from .common import ExperimentResult
 
 SEQ_LEN = 128
@@ -25,10 +25,10 @@ PAPER_BLACKMAMBA_OPT_SHARE_B1 = 0.53  # "up to 53%" at sparse batch size 1
 
 def run(gpu=A40, cache: SimulationCache | None = None) -> ExperimentResult:
     result = ExperimentResult("fig4", "Stage breakdown (forward/backward/optimizer)")
-    sim = cache if cache is not None else default_cache()
+    cache = resolve_cache(cache)
     for cfg, points in ((MIXTRAL_8X7B, MIXTRAL_POINTS), (BLACKMAMBA_2_8B, BLACKMAMBA_POINTS)):
         for dense, batch in points:
-            trace = sim.trace(cfg, gpu, batch, SEQ_LEN, dense=dense)
+            trace = cache.trace(cfg, gpu, batch, SEQ_LEN, dense=dense)
             stages = trace.stage_seconds()
             tag = f"{cfg.family}_{'D' if dense else 'S'}{batch}"
             result.add(f"{tag}_forward_s", stages["forward"])
@@ -39,10 +39,10 @@ def run(gpu=A40, cache: SimulationCache | None = None) -> ExperimentResult:
                 stages["backward"] / stages["forward"],
                 note="paper: backward typically exceeds forward",
             )
-    sparse_b1 = sim.trace(BLACKMAMBA_2_8B, gpu, 1, SEQ_LEN, dense=False).stage_seconds()
+    sparse_b1 = cache.trace(BLACKMAMBA_2_8B, gpu, 1, SEQ_LEN, dense=False).stage_seconds()
     share = sparse_b1["optimizer"] / sum(sparse_b1.values())
     result.add("blackmamba_S1_optimizer_share", share, PAPER_BLACKMAMBA_OPT_SHARE_B1)
-    mixtral_b1 = sim.trace(MIXTRAL_8X7B, gpu, 1, SEQ_LEN, dense=False).stage_seconds()
+    mixtral_b1 = cache.trace(MIXTRAL_8X7B, gpu, 1, SEQ_LEN, dense=False).stage_seconds()
     result.add(
         "mixtral_S1_optimizer_share",
         mixtral_b1["optimizer"] / sum(mixtral_b1.values()),

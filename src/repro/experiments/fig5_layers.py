@@ -11,7 +11,7 @@ import numpy as np
 
 from ..gpu import A40
 from ..models import BLACKMAMBA_2_8B, MIXTRAL_8X7B
-from ..scenarios import SimulationCache, default_cache
+from ..scenarios import SimulationCache, resolve_cache
 from .common import ExperimentResult
 from .fig4_stages import BLACKMAMBA_POINTS, MIXTRAL_POINTS, SEQ_LEN
 
@@ -20,11 +20,11 @@ PAPER_MOE_SHARE_AVG = 0.85
 
 def run(gpu=A40, cache: SimulationCache | None = None) -> ExperimentResult:
     result = ExperimentResult("fig5", "Layer-level time breakdown")
-    sim = cache if cache is not None else default_cache()
+    cache = resolve_cache(cache)
     moe_shares = []
     for cfg, points in ((MIXTRAL_8X7B, MIXTRAL_POINTS), (BLACKMAMBA_2_8B, BLACKMAMBA_POINTS)):
         for dense, batch in points:
-            trace = sim.trace(cfg, gpu, batch, SEQ_LEN, dense=dense)
+            trace = cache.trace(cfg, gpu, batch, SEQ_LEN, dense=dense)
             layers = trace.layer_seconds()
             layers.pop("optimizer", None)
             total = sum(layers.values())

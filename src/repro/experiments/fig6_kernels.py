@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from ..gpu import A40
 from ..models import BLACKMAMBA_2_8B, MIXTRAL_8X7B
-from ..scenarios import SimulationCache, default_cache
+from ..scenarios import SimulationCache, resolve_cache
 from .common import ExperimentResult
 from .fig4_stages import BLACKMAMBA_POINTS, MIXTRAL_POINTS, SEQ_LEN
 
@@ -26,13 +26,13 @@ BLACKMAMBA_KERNELS = (
 
 def run(gpu=A40, cache: SimulationCache | None = None) -> ExperimentResult:
     result = ExperimentResult("fig6", "MoE kernel-level breakdown (us/layer)")
-    sim = cache if cache is not None else default_cache()
+    cache = resolve_cache(cache)
     for cfg, points, kernel_names in (
         (MIXTRAL_8X7B, MIXTRAL_POINTS, MIXTRAL_KERNELS),
         (BLACKMAMBA_2_8B, BLACKMAMBA_POINTS, BLACKMAMBA_KERNELS),
     ):
         for dense, batch in points:
-            trace = sim.trace(cfg, gpu, batch, SEQ_LEN, dense=dense)
+            trace = cache.trace(cfg, gpu, batch, SEQ_LEN, dense=dense)
             table = trace.kernel_seconds_by_name(layer="moe")
             tag = f"{cfg.family}_{'D' if dense else 'S'}{batch}"
             for name in kernel_names:

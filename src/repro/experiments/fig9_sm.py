@@ -9,25 +9,25 @@ from __future__ import annotations
 
 from ..gpu import A40
 from ..models import BLACKMAMBA_2_8B, MIXTRAL_8X7B
-from ..scenarios import SimulationCache, default_cache
+from ..scenarios import SimulationCache, resolve_cache
 from .common import ExperimentResult
 from .fig4_stages import BLACKMAMBA_POINTS, MIXTRAL_POINTS, SEQ_LEN
 
 
 def run(gpu=A40, cache: SimulationCache | None = None) -> ExperimentResult:
     result = ExperimentResult("fig9", "SM utilization of MoE kernels (%)")
-    sim = cache if cache is not None else default_cache()
+    cache = resolve_cache(cache)
     for cfg, points in ((MIXTRAL_8X7B, MIXTRAL_POINTS), (BLACKMAMBA_2_8B, BLACKMAMBA_POINTS)):
         for dense, batch in points:
-            trace = sim.trace(cfg, gpu, batch, SEQ_LEN, dense=dense)
+            trace = cache.trace(cfg, gpu, batch, SEQ_LEN, dense=dense)
             tag = f"{cfg.family}_{'D' if dense else 'S'}{batch}"
             for name, value in sorted(trace.sm_utilization_by_kernel("moe").items()):
                 result.add(f"{tag}_{name}", value)
             result.add(f"{tag}_time_weighted", trace.time_weighted_sm("moe"))
 
     # Explicit claim rows (Mixtral).
-    sm_s1 = sim.trace(MIXTRAL_8X7B, gpu, 1, SEQ_LEN, dense=False)
-    sm_s32 = sim.trace(MIXTRAL_8X7B, gpu, 32, SEQ_LEN, dense=False)
+    sm_s1 = cache.trace(MIXTRAL_8X7B, gpu, 1, SEQ_LEN, dense=False)
+    sm_s32 = cache.trace(MIXTRAL_8X7B, gpu, 32, SEQ_LEN, dense=False)
     result.add(
         "mixtral_matmul_w1_rise_s1_to_s32",
         sm_s32.sm_utilization_by_kernel()["matmul(w1)"] - sm_s1.sm_utilization_by_kernel()["matmul(w1)"],

@@ -19,10 +19,10 @@ from __future__ import annotations
 import argparse
 import inspect
 import json
-import math
 from typing import Any, Dict, List
 
 from ..scenarios import default_cache
+from ..serialization import json_value as _json_value
 from . import ALL_EXPERIMENTS
 from .common import ExperimentResult
 
@@ -48,26 +48,6 @@ def collect_results(
             continue
         results[key] = _run_module(module, scale=scale, jobs=jobs)
     return results
-
-
-def _json_value(value: Any) -> Any:
-    """Make numpy scalars and other oddballs JSON-representable.
-
-    Non-finite floats map to ``null``: ``json.dumps`` would otherwise
-    emit a bare ``NaN`` token that strict parsers reject.
-    """
-    if not (value is None or isinstance(value, (bool, int, float, str))):
-        item = getattr(value, "item", None)
-        if callable(item):
-            try:
-                value = item()
-            except (TypeError, ValueError):
-                return str(value)
-        else:
-            return str(value)
-    if isinstance(value, float) and not math.isfinite(value):
-        return None
-    return value
 
 
 def report_payload(

@@ -16,7 +16,7 @@ from typing import List
 from ..gpu import A40
 from ..memory import max_batch_size
 from ..models import BLACKMAMBA_2_8B, MIXTRAL_8X7B
-from ..scenarios import SimulationCache, default_cache
+from ..scenarios import SimulationCache, resolve_cache
 from .common import ExperimentResult
 
 SEQ_LENS: List[int] = [64, 128, 256, 512, 1024]
@@ -24,7 +24,7 @@ SEQ_LENS: List[int] = [64, 128, 256, 512, 1024]
 
 def run(gpu=A40, dense: bool = False, cache: SimulationCache | None = None) -> ExperimentResult:
     result = ExperimentResult("seqlen", "Sequence-length sensitivity at max batch size")
-    sim = cache if cache is not None else default_cache()
+    cache = resolve_cache(cache)
     for cfg in (MIXTRAL_8X7B, BLACKMAMBA_2_8B):
         latencies = {}
         for seq_len in SEQ_LENS:
@@ -33,7 +33,7 @@ def run(gpu=A40, dense: bool = False, cache: SimulationCache | None = None) -> E
                 result.add(f"{cfg.family}_seq{seq_len}_latency_s", float("nan"),
                            note="does not fit at batch size 1 (memory oracle)")
                 continue
-            trace = sim.trace(cfg, gpu, batch, seq_len, dense=dense)
+            trace = cache.trace(cfg, gpu, batch, seq_len, dense=dense)
             latencies[seq_len] = trace.total_seconds
             result.add(f"{cfg.family}_seq{seq_len}_batch", batch)
             result.add(f"{cfg.family}_seq{seq_len}_latency_s", trace.total_seconds)

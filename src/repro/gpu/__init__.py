@@ -13,10 +13,13 @@ from .roofline import (
 )
 from .multigpu import (
     DataParallelSimulator,
+    INTERCONNECTS,
     Interconnect,
     MultiGPUEstimate,
     NVLINK,
     PCIE_GEN4,
+    estimate_from_trace,
+    get_interconnect,
     multi_gpu_cost_dollars,
     trainable_gradient_bytes,
 )
@@ -34,10 +37,13 @@ __all__ = [
     "DEFAULT_OVERHEADS",
     "DataParallelSimulator",
     "FORWARD",
+    "INTERCONNECTS",
     "Interconnect",
     "MultiGPUEstimate",
     "NVLINK",
     "PCIE_GEN4",
+    "estimate_from_trace",
+    "get_interconnect",
     "multi_gpu_cost_dollars",
     "trainable_gradient_bytes",
     "GPU_REGISTRY",

@@ -56,6 +56,26 @@ class Interconnect:
 PCIE_GEN4 = Interconnect("PCIe-Gen4", bandwidth_gbs=24.0)
 NVLINK = Interconnect("NVLink", bandwidth_gbs=225.0)
 
+INTERCONNECTS: Dict[str, Interconnect] = {
+    "nvlink": NVLINK,
+    "pcie-gen4": PCIE_GEN4,
+}
+
+
+def get_interconnect(name: Union[str, Interconnect]) -> Interconnect:
+    """Resolve an interconnect by registry key or display name
+    (case-insensitive); :class:`Interconnect` values pass through so ad-hoc
+    links participate like ad-hoc GPU specs do."""
+    if isinstance(name, Interconnect):
+        return name
+    lowered = name.lower()
+    if lowered in INTERCONNECTS:
+        return INTERCONNECTS[lowered]
+    for link in INTERCONNECTS.values():
+        if link.name.lower() == lowered:
+            return link
+    raise KeyError(f"unknown interconnect {name!r}; available: {sorted(INTERCONNECTS)}")
+
 
 def trainable_gradient_bytes(cfg: ModelConfig) -> float:
     """Bytes of gradients synchronized per step under the paper's recipes."""
@@ -74,6 +94,31 @@ class MultiGPUEstimate:
     allreduce_seconds: float
     queries_per_second: float
     scaling_efficiency: float  # vs num_gpus x single-GPU throughput
+
+
+def estimate_from_trace(cfg: ModelConfig, trace, num_gpus: int,
+                        interconnect: Interconnect) -> MultiGPUEstimate:
+    """Data-parallel estimate from an already-simulated single-GPU step
+    trace. Every replica runs the identical per-device step, so one trace
+    serves all cluster sizes — the cluster layer exploits this to scale a
+    sweep from 1 to N GPUs without re-simulating the replica."""
+    if num_gpus < 1:
+        raise ValueError(f"num_gpus must be >= 1, got {num_gpus}")
+    comm = interconnect.allreduce_seconds(trainable_gradient_bytes(cfg), num_gpus)
+    # Communication overlaps poorly with the tail of backward in naive
+    # DDP over small adapter sets; model it as serialized.
+    step = trace.total_seconds + comm
+    throughput = num_gpus * trace.batch_size / step
+    single = trace.queries_per_second
+    efficiency = throughput / (num_gpus * single) if single > 0 else 0.0
+    return MultiGPUEstimate(
+        num_gpus=num_gpus,
+        per_gpu_batch=trace.batch_size,
+        step_seconds=step,
+        allreduce_seconds=comm,
+        queries_per_second=throughput,
+        scaling_efficiency=efficiency,
+    )
 
 
 class DataParallelSimulator:
@@ -101,21 +146,7 @@ class DataParallelSimulator:
         if num_gpus < 1:
             raise ValueError(f"num_gpus must be >= 1, got {num_gpus}")
         trace = self._single.simulate_step(cfg, per_gpu_batch, seq_len, dense=dense, **overrides)
-        comm = self.interconnect.allreduce_seconds(trainable_gradient_bytes(cfg), num_gpus)
-        # Communication overlaps poorly with the tail of backward in naive
-        # DDP over small adapter sets; model it as serialized.
-        step = trace.total_seconds + comm
-        throughput = num_gpus * per_gpu_batch / step
-        single = trace.queries_per_second
-        efficiency = throughput / (num_gpus * single) if single > 0 else 0.0
-        return MultiGPUEstimate(
-            num_gpus=num_gpus,
-            per_gpu_batch=per_gpu_batch,
-            step_seconds=step,
-            allreduce_seconds=comm,
-            queries_per_second=throughput,
-            scaling_efficiency=efficiency,
-        )
+        return estimate_from_trace(cfg, trace, num_gpus, self.interconnect)
 
     def scaling_curve(
         self,

@@ -18,7 +18,13 @@ sweeps through this engine, so one process simulates each distinct point
 exactly once no matter how many consumers ask for it.
 """
 
-from .cache import CacheStats, SimulationCache, default_cache, reset_default_cache
+from .cache import (
+    CacheStats,
+    SimulationCache,
+    default_cache,
+    reset_default_cache,
+    resolve_cache,
+)
 from .grid import ScenarioGrid, preset, preset_names, register_preset
 from .runner import SweepPoint, SweepRunner
 from .scenario import Scenario, freeze_overrides
@@ -36,4 +42,5 @@ __all__ = [
     "preset_names",
     "register_preset",
     "reset_default_cache",
+    "resolve_cache",
 ]

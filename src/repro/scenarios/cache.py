@@ -50,6 +50,11 @@ class SimulationCache:
     Thread-safe: a sweep running with ``jobs > 1`` shares one cache. Each
     simulator instance is also cached per GPU spec so repeated sweeps on
     the same hardware reuse one simulator.
+
+    Scenario subclasses that extend the space with axes the per-device
+    step does not depend on (``repro.cluster.ClusterScenario``'s
+    ``num_gpus``/``interconnect``) inherit :meth:`Scenario.key` unchanged,
+    so all their variants share one memoized replica trace here.
     """
 
     def __init__(self, overheads: Optional[Dict[str, SoftwareOverhead]] = None) -> None:
@@ -201,3 +206,13 @@ def reset_default_cache() -> SimulationCache:
     global _default_cache
     _default_cache = SimulationCache()
     return _default_cache
+
+
+def resolve_cache(cache: Optional[SimulationCache]) -> SimulationCache:
+    """The given cache, or the process-global default when ``None``.
+
+    Every consumer that takes an optional ``cache`` argument (experiment
+    modules, the cost model, sweep runners, the cluster planner) funnels
+    through here, so "no cache supplied" uniformly means "share the
+    process-wide traces"."""
+    return cache if cache is not None else default_cache()

@@ -163,12 +163,14 @@ def register_preset(
 def preset(name: str) -> ScenarioGrid:
     """Build a fresh grid from a registered preset."""
     if name not in _PRESETS:
-        # Experiment modules register their grids at import time; pull
-        # them in on first miss so the advertised presets ("fig8",
-        # "table3") resolve without a manual import.
+        # Experiment modules and the cluster subsystem register their
+        # grids at import time; pull them in on first miss so the
+        # advertised presets ("fig8", "table3", "cluster-scaling")
+        # resolve without a manual import.
         import importlib
 
-        importlib.import_module("repro.experiments")
+        for module in ("repro.experiments", "repro.cluster"):
+            importlib.import_module(module)
         if name not in _PRESETS:
             raise KeyError(f"unknown preset {name!r}; available: {preset_names()}")
     return _PRESETS[name]()
@@ -179,8 +181,59 @@ def preset_names() -> List[str]:
 
 
 def _register_builtin_presets() -> None:
-    from ..gpu.specs import A40
+    from ..gpu.specs import A40, A100_40, A100_80, H100
     from ..models.config import BLACKMAMBA_2_8B, MIXTRAL_8X7B
+
+    def profiling_grid() -> ScenarioGrid:
+        # The full Fig. 4-6/9/10 profiling grid: both families at the
+        # paper's exact (density, batch) points, seq 128, on the A40. The
+        # points live with fig4 (the other figures reuse them); imported
+        # lazily so the builder stays the single source of truth without
+        # a grid -> experiments import at module load.
+        from ..experiments.fig4_stages import (
+            BLACKMAMBA_POINTS,
+            MIXTRAL_POINTS,
+            SEQ_LEN,
+        )
+
+        cells = {
+            MIXTRAL_8X7B.family: set(MIXTRAL_POINTS),
+            BLACKMAMBA_2_8B.family: set(BLACKMAMBA_POINTS),
+        }
+        batches = sorted({batch for points in cells.values() for _, batch in points})
+        return ScenarioGrid.product(
+            models=(MIXTRAL_8X7B, BLACKMAMBA_2_8B),
+            gpus=(A40,),
+            seq_lens=(SEQ_LEN,),
+            dense=(True, False),
+            batch_sizes=batches,
+        ).filter(lambda s: (s.dense, s.batch_size) in cells[s.config.family])
+
+    def table4_cost_grid() -> ScenarioGrid:
+        # The Eq. 2 calibration sweeps behind Table IV: dense + sparse
+        # batch sweeps of Mixtral on the three priced GPUs at the GS
+        # padded sequence length.
+        from ..memory.estimator import EFFECTIVE_SEQ_LEN
+
+        seq_len = EFFECTIVE_SEQ_LEN["gsm8k"]
+        grid = ScenarioGrid()
+        for gpu in (A40, A100_80, H100):
+            for dense in (True, False):
+                grid = grid + ScenarioGrid.batch_sweep(
+                    MIXTRAL_8X7B, gpu, seq_len=seq_len, dense=dense
+                )
+        return grid
+
+    def fig13_projection_grid() -> ScenarioGrid:
+        # The Eq. 1 observation grid: batch-1 probes of both families
+        # across the four measured GPUs, sequence lengths and densities
+        # (the points `collect_batch_size_observations` feeds the fit).
+        return ScenarioGrid.product(
+            models=(MIXTRAL_8X7B, BLACKMAMBA_2_8B),
+            gpus=(A100_40, A40, A100_80, H100),
+            seq_lens=(64, 128, 256, 512),
+            dense=(True, False),
+        )
 
     register_preset(
         "a40-profiling-grid",
@@ -196,6 +249,9 @@ def _register_builtin_presets() -> None:
         "mixtral-a40-batch-sweep",
         lambda: ScenarioGrid.batch_sweep(MIXTRAL_8X7B, A40, seq_len=128, dense=False),
     )
+    register_preset("profiling-grid", profiling_grid)
+    register_preset("table4-cost", table4_cost_grid)
+    register_preset("fig13-projection", fig13_projection_grid)
 
 
 _register_builtin_presets()

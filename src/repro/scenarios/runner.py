@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 from ..gpu.trace import StepTrace
-from .cache import SimulationCache, default_cache
+from .cache import SimulationCache, resolve_cache
 from .grid import ScenarioGrid
 from .scenario import Scenario
 
@@ -47,7 +47,7 @@ class SweepRunner:
     """Executes scenario grids against a (shared) simulation cache."""
 
     def __init__(self, cache: Optional[SimulationCache] = None, jobs: int = 1) -> None:
-        self.cache = cache if cache is not None else default_cache()
+        self.cache = resolve_cache(cache)
         self.jobs = max(1, int(jobs))
 
     def run(self, grid: ScenarioGrid) -> List[SweepPoint]:

@@ -12,6 +12,11 @@ simulator traces by scenario key, and
 ``"A40"``) or the config/spec objects themselves, so ad-hoc scaled
 configs and hypothetical GPUs (Fig. 13's 100GB projection) participate in
 the same machinery as the registered paper-scale setups.
+
+Subclasses may extend the space with axes the per-device step trace does
+not depend on — :class:`~repro.cluster.ClusterScenario` adds ``num_gpus``
+and ``interconnect`` — and inherit :meth:`Scenario.key` unchanged, so the
+cache shares one replica trace across all such variants.
 """
 
 from __future__ import annotations
@@ -88,6 +93,12 @@ class Scenario:
         """Active-expert fraction under this scenario's routing."""
         return self.config.moe.sparsity(self.dense)
 
+    @property
+    def density_tag(self) -> str:
+        """``D``/``S`` + batch size — the row-label convention shared by
+        the experiment suite and the cluster layer."""
+        return f"{'D' if self.dense else 'S'}{self.batch_size}"
+
     def overrides_dict(self) -> Dict[str, Any]:
         return dict(self.overrides)
 
@@ -116,7 +127,7 @@ class Scenario:
         parts = [self.config.family]
         if self.dataset:
             parts.append(self.dataset)
-        parts.append(f"{'D' if self.dense else 'S'}{self.batch_size}")
+        parts.append(self.density_tag)
         if include_seq_len:
             parts.append(f"L{self.resolved_seq_len}")
         if include_gpu:
@@ -130,7 +141,7 @@ class Scenario:
         parts = [self.config.name]
         if self.dataset:
             parts.append(self.dataset)
-        parts.append(f"{'D' if self.dense else 'S'}{self.batch_size}")
+        parts.append(self.density_tag)
         parts.append(f"L{self.resolved_seq_len}")
         parts.append(self.gpu_spec.name)
         parts.extend(f"{key}={value}" for key, value in self.overrides)

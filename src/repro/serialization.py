@@ -1,0 +1,39 @@
+"""JSON-safe conversion shared by the machine-readable CLIs.
+
+``python -m repro.experiments.report --json`` and ``python -m
+repro.cluster.plan --json`` both promise strict JSON: numpy scalars are
+unwrapped and non-finite floats map to ``null`` (``json.dumps`` would
+otherwise emit bare ``NaN``/``Infinity`` tokens that strict parsers
+reject).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+
+def json_value(value: Any) -> Any:
+    """One scalar made JSON-representable (numpy unwrapped, non-finite ->
+    ``None``, anything else stringified)."""
+    if not (value is None or isinstance(value, (bool, int, float, str))):
+        item = getattr(value, "item", None)
+        if callable(item):
+            try:
+                value = item()
+            except (TypeError, ValueError):
+                return str(value)
+        else:
+            return str(value)
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+def jsonify(obj: Any) -> Any:
+    """Recursively JSON-safe copy of dicts/lists/tuples of scalars."""
+    if isinstance(obj, dict):
+        return {key: jsonify(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [jsonify(value) for value in obj]
+    return json_value(obj)

@@ -35,6 +35,11 @@ class TestPriceCatalog:
         assert "cudo" in DEFAULT_CATALOG.providers()
         assert "A40" in DEFAULT_CATALOG.gpus("cudo")
 
+    def test_providers_for_gpu(self):
+        assert DEFAULT_CATALOG.providers_for("A40") == ["cudo", "runpod"]
+        assert "lambda" in DEFAULT_CATALOG.providers_for("H100-80GB")
+        assert DEFAULT_CATALOG.providers_for("TPU-v5") == []
+
 
 class TestCostEstimate:
     def test_arithmetic(self):

@@ -47,9 +47,11 @@ class TestResultContainers:
 
 
 class TestRegistry:
-    def test_all_seventeen_artifacts_registered(self):
-        assert len(ALL_EXPERIMENTS) == 17
-        assert {"table1", "table2", "table3", "table4", "fig3", "fig11", "seqlen"} <= set(ALL_EXPERIMENTS)
+    def test_all_eighteen_artifacts_registered(self):
+        # 17 paper artifacts plus the cluster-planning extension.
+        assert len(ALL_EXPERIMENTS) == 18
+        assert {"table1", "table2", "table3", "table4", "fig3", "fig11", "seqlen",
+                "cluster"} <= set(ALL_EXPERIMENTS)
 
 
 class TestTable1:

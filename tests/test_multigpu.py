@@ -6,9 +6,12 @@ from repro.gpu import (
     A40,
     DataParallelSimulator,
     H100,
+    INTERCONNECTS,
     Interconnect,
     NVLINK,
     PCIE_GEN4,
+    estimate_from_trace,
+    get_interconnect,
     multi_gpu_cost_dollars,
     trainable_gradient_bytes,
 )
@@ -17,7 +20,37 @@ from repro.models import BLACKMAMBA_2_8B, MIXTRAL_8X7B
 
 class TestInterconnect:
     def test_single_gpu_no_allreduce(self):
-        assert NVLINK.allreduce_seconds(1e9, 1) == 0.0
+        for link in INTERCONNECTS.values():
+            assert link.allreduce_seconds(1e9, 1) == 0.0
+            assert link.allreduce_seconds(0.0, 1) == 0.0
+
+    def test_zero_payload_pays_only_latency(self):
+        link = Interconnect("test", bandwidth_gbs=100.0, latency_us=15.0)
+        for n in (2, 4, 8):
+            assert link.allreduce_seconds(0.0, n) == pytest.approx(
+                2 * (n - 1) * 15.0 * 1e-6
+            )
+
+    def test_latency_term_scales_linearly_with_ring_hops(self):
+        link = Interconnect("test", bandwidth_gbs=100.0, latency_us=20.0)
+        base = link.allreduce_seconds(0.0, 2)  # one hop pair
+        assert link.allreduce_seconds(0.0, 8) == pytest.approx(7 * base)
+
+    def test_wire_term_matches_ring_formula(self):
+        link = Interconnect("test", bandwidth_gbs=10.0, latency_us=0.0)
+        payload = 5e9
+        for n in (2, 3, 8):
+            expected = 2.0 * (n - 1) / n * payload / (10.0 * 1e9)
+            assert link.allreduce_seconds(payload, n) == pytest.approx(expected)
+
+    def test_wire_term_saturates_latency_term_does_not(self):
+        """2(N-1)/N -> 2 as N grows, but the latency term keeps growing:
+        at large N a latency-heavy link is dominated by hops."""
+        link = Interconnect("test", bandwidth_gbs=100.0, latency_us=50.0)
+        wire_only = Interconnect("test0", bandwidth_gbs=100.0, latency_us=0.0)
+        assert wire_only.allreduce_seconds(1e9, 1024) < 2.0 * 1e9 / (100.0 * 1e9)
+        hops = link.allreduce_seconds(1e9, 1024) - wire_only.allreduce_seconds(1e9, 1024)
+        assert hops == pytest.approx(2 * 1023 * 50.0 * 1e-6)
 
     def test_ring_traffic_grows_with_gpus(self):
         two = NVLINK.allreduce_seconds(1e9, 2)
@@ -26,6 +59,22 @@ class TestInterconnect:
 
     def test_bandwidth_ordering(self):
         assert PCIE_GEN4.allreduce_seconds(1e9, 4) > NVLINK.allreduce_seconds(1e9, 4)
+
+
+class TestInterconnectRegistry:
+    def test_keys_and_display_names_resolve(self):
+        assert get_interconnect("nvlink") is NVLINK
+        assert get_interconnect("NVLink") is NVLINK
+        assert get_interconnect("pcie-gen4") is PCIE_GEN4
+        assert get_interconnect("PCIe-Gen4") is PCIE_GEN4
+
+    def test_instances_pass_through(self):
+        custom = Interconnect("InfiniBand", bandwidth_gbs=50.0)
+        assert get_interconnect(custom) is custom
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_interconnect("token-ring")
 
 
 class TestGradientPayload:
@@ -82,6 +131,20 @@ class TestDataParallelSimulator:
     def test_invalid_gpu_count(self):
         with pytest.raises(ValueError):
             DataParallelSimulator(A40).estimate(MIXTRAL_8X7B, 4, 128, num_gpus=0)
+
+    def test_estimate_from_trace_matches_simulator(self):
+        """The trace-based entry point (what the cluster layer feeds with
+        cached traces) is the same model as the simulator path."""
+        from repro.gpu import GPUSimulator
+
+        trace = GPUSimulator(A40).simulate_step(MIXTRAL_8X7B, 4, 128, dense=False)
+        direct = estimate_from_trace(MIXTRAL_8X7B, trace, 4, PCIE_GEN4)
+        via_sim = DataParallelSimulator(A40, interconnect=PCIE_GEN4).estimate(
+            MIXTRAL_8X7B, 4, 128, num_gpus=4
+        )
+        assert direct == via_sim
+        with pytest.raises(ValueError):
+            estimate_from_trace(MIXTRAL_8X7B, trace, 0, PCIE_GEN4)
 
 
 class TestMultiGPUCost:

@@ -125,8 +125,50 @@ class TestScenarioGrid:
         with pytest.raises(ValueError):
             register_preset("fig8", lambda: ScenarioGrid())
 
+    def test_profiling_grid_preset_covers_fig4_points(self):
+        from repro.experiments.fig4_stages import BLACKMAMBA_POINTS, MIXTRAL_POINTS
+
+        grid = preset("profiling-grid")
+        assert len(grid) == len(MIXTRAL_POINTS) + len(BLACKMAMBA_POINTS)
+        by_family = {}
+        for s in grid:
+            by_family.setdefault(s.config.family, set()).add((s.dense, s.batch_size))
+            assert s.resolved_seq_len == 128 and s.gpu_spec is A40
+        assert by_family["mixtral"] == set(MIXTRAL_POINTS)
+        assert by_family["blackmamba"] == set(BLACKMAMBA_POINTS)
+
+    def test_table4_cost_preset_is_the_calibration_sweep(self):
+        from repro.memory import EFFECTIVE_SEQ_LEN
+
+        grid = preset("table4-cost")
+        assert {s.gpu_spec.name for s in grid} == {"A40", "A100-80GB", "H100-80GB"}
+        assert {s.dense for s in grid} == {True, False}
+        assert all(s.resolved_seq_len == EFFECTIVE_SEQ_LEN["gsm8k"] for s in grid)
+        # Each (gpu, density) cell sweeps 1..max consecutively.
+        for gpu in ("A40",):
+            sparse = [s.batch_size for s in grid
+                      if s.gpu_spec.name == gpu and not s.dense]
+            assert sparse == list(range(1, len(sparse) + 1))
+
+    def test_fig13_projection_preset_shape(self):
+        grid = preset("fig13-projection")
+        assert len(grid) == 2 * 4 * 4 * 2  # models x gpus x seq_lens x densities
+        assert all(s.batch_size == 1 for s in grid)
+
+    def test_cluster_scaling_preset_resolves_lazily(self):
+        # Registered by repro.cluster at import time; preset() pulls the
+        # package in on first miss.
+        assert len(preset("cluster-scaling")) == 16
+
 
 class TestSimulationCache:
+    def test_resolve_cache(self):
+        from repro.scenarios import resolve_cache
+
+        explicit = SimulationCache()
+        assert resolve_cache(explicit) is explicit
+        assert resolve_cache(None) is default_cache()
+
     def test_hit_miss_accounting(self):
         cache = SimulationCache()
         s = Scenario(model=BLACKMAMBA_2_8B, gpu=A40, batch_size=1, seq_len=64)
