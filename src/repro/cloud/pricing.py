@@ -4,6 +4,17 @@ The paper prices GPU hours from CUDO Compute because, at the time, other
 major clouds did not list the A40. The catalog structure supports
 additional providers; prices are inputs to the cost model, not results.
 Table IV's printed rates: A40 $0.79/h, A100-80GB $1.67/h, H100 $2.10/h.
+
+Two price tiers per (provider, GPU) pair:
+
+* **on-demand** — uninterrupted capacity, the tier the paper's Eq. 2
+  assumes. All the original lookup APIs (``price``, ``dollars_per_hour``,
+  ``providers_for``, ``gpus``) read this tier, so pre-spot callers are
+  unchanged.
+* **spot** — discounted preemptible capacity. Spot listings are reached
+  through the explicit ``spot_*`` APIs; the interruption hazard that
+  makes the discount risky lives in :mod:`repro.spot.market`, not here —
+  prices are market quotes, risk is a model.
 """
 
 from __future__ import annotations
@@ -26,12 +37,19 @@ class GPUPrice:
 
 
 class PriceCatalog:
-    """Provider -> GPU -> hourly price lookup."""
+    """Provider -> GPU -> hourly price lookup, with an optional spot tier."""
 
-    def __init__(self, prices: Iterable[GPUPrice]) -> None:
+    def __init__(
+        self,
+        prices: Iterable[GPUPrice],
+        spot_prices: Iterable[GPUPrice] = (),
+    ) -> None:
         self._prices: Dict[Tuple[str, str], GPUPrice] = {}
         for price in prices:
             self._prices[(price.provider, price.gpu_name)] = price
+        self._spot_prices: Dict[Tuple[str, str], GPUPrice] = {}
+        for price in spot_prices:
+            self.add_spot(price)
 
     def price(self, gpu_name: str, provider: str = "cudo") -> GPUPrice:
         key = (provider, gpu_name)
@@ -50,12 +68,69 @@ class PriceCatalog:
         return sorted(g for p, g in self._prices if p == provider)
 
     def providers_for(self, gpu_name: str) -> List[str]:
-        """Providers renting ``gpu_name``, sorted for deterministic
-        iteration (the cluster planner sweeps these)."""
+        """Providers renting ``gpu_name`` on demand, sorted for
+        deterministic iteration (the cluster planner sweeps these). Spot
+        listings do not appear here — a spot quote without on-demand
+        capacity is not a plannable baseline."""
         return sorted(p for p, g in self._prices if g == gpu_name)
 
     def add(self, price: GPUPrice) -> None:
-        self._prices[(price.provider, price.gpu_name)] = price
+        """Register (or update) an on-demand listing. An existing spot
+        listing for the pair must stay at or below the new on-demand
+        price — the same discount-tier invariant ``add_spot`` enforces
+        from the other side."""
+        key = (price.provider, price.gpu_name)
+        spot = self._spot_prices.get(key)
+        if spot is not None and spot.dollars_per_hour > price.dollars_per_hour:
+            raise ValueError(
+                f"on-demand price ${price.dollars_per_hour}/h for "
+                f"{price.provider}/{price.gpu_name} undercuts the existing spot "
+                f"${spot.dollars_per_hour}/h"
+            )
+        self._prices[key] = price
+
+    # ------------------------------------------------------------------
+    # Spot tier
+    # ------------------------------------------------------------------
+    def add_spot(self, price: GPUPrice) -> None:
+        """Register a spot listing. When the same (provider, GPU) pair has
+        an on-demand price, the spot quote must not exceed it — spot is a
+        discount tier, and the risk planner's "spot is excluded unless its
+        expected cost beats on-demand" invariant builds on that."""
+        key = (price.provider, price.gpu_name)
+        ondemand = self._prices.get(key)
+        if ondemand is not None and price.dollars_per_hour > ondemand.dollars_per_hour:
+            raise ValueError(
+                f"spot price ${price.dollars_per_hour}/h for "
+                f"{price.provider}/{price.gpu_name} exceeds the on-demand "
+                f"${ondemand.dollars_per_hour}/h"
+            )
+        self._spot_prices[key] = price
+
+    def has_spot(self, gpu_name: str, provider: str = "cudo") -> bool:
+        return (provider, gpu_name) in self._spot_prices
+
+    def spot_price_for(self, gpu_name: str, provider: str = "cudo") -> GPUPrice:
+        key = (provider, gpu_name)
+        if key not in self._spot_prices:
+            available = sorted(f"{p}/{g}" for p, g in self._spot_prices)
+            raise KeyError(
+                f"no spot price for {provider}/{gpu_name}; available: {available}"
+            )
+        return self._spot_prices[key]
+
+    def spot_dollars_per_hour(self, gpu_name: str, provider: str = "cudo") -> float:
+        return self.spot_price_for(gpu_name, provider).dollars_per_hour
+
+    def spot_providers_for(self, gpu_name: str) -> List[str]:
+        """Providers with a spot listing for ``gpu_name``, sorted."""
+        return sorted(p for p, g in self._spot_prices if g == gpu_name)
+
+    def spot_discount(self, gpu_name: str, provider: str = "cudo") -> float:
+        """Spot price as a fraction of on-demand (0.5 = half price)."""
+        return self.spot_dollars_per_hour(gpu_name, provider) / self.dollars_per_hour(
+            gpu_name, provider
+        )
 
 
 DEFAULT_CATALOG = PriceCatalog(
@@ -73,5 +148,17 @@ DEFAULT_CATALOG = PriceCatalog(
         GPUPrice("H100-80GB", "lambda", 2.49),
         GPUPrice("A40", "runpod", 0.44),
         GPUPrice("A100-80GB", "runpod", 1.59),
-    ]
+    ],
+    spot_prices=[
+        # Representative preemptible discounts (~50% of on-demand for the
+        # reserved-capacity providers, deeper on the community cloud).
+        # Lambda lists no spot tier, which exercises the has_spot() miss
+        # path in the risk planner.
+        GPUPrice("A40", "cudo", 0.40),
+        GPUPrice("A100-80GB", "cudo", 0.84),
+        GPUPrice("H100-80GB", "cudo", 1.05),
+        GPUPrice("A100-40GB", "cudo", 0.65),
+        GPUPrice("A40", "runpod", 0.22),
+        GPUPrice("A100-80GB", "runpod", 0.80),
+    ],
 )

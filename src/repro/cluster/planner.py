@@ -109,19 +109,28 @@ class ClusterCandidate:
         }
 
 
+def dominance_sweep(candidates, sort_key, cost) -> List:
+    """Generic weak-dominance Pareto sweep: sort by ``sort_key`` (time
+    axis first) and keep candidates while ``cost`` strictly improves. A
+    candidate survives iff it is strictly cheaper than every candidate at
+    least as fast as it, so a slower configuration that saves no money is
+    dropped and ties collapse to the first in deterministic sort order.
+    Shared by this frontier and the spot planner's risk frontier."""
+    frontier: List = []
+    best_cost = float("inf")
+    for candidate in sorted(candidates, key=sort_key):
+        if cost(candidate) < best_cost:
+            frontier.append(candidate)
+            best_cost = cost(candidate)
+    return frontier
+
+
 def pareto_frontier(candidates: Sequence[ClusterCandidate]) -> List[ClusterCandidate]:
     """The non-dominated candidates under (minimize hours, minimize
-    dollars), ordered fastest-first. A candidate survives iff it is
-    strictly cheaper than every candidate at least as fast as it — weak
-    dominance, so a slower configuration that saves no money is dropped
-    and ties collapse to the first in deterministic sort order."""
-    frontier: List[ClusterCandidate] = []
-    best_dollars = float("inf")
-    for candidate in sorted(candidates, key=ClusterCandidate.sort_key):
-        if candidate.dollars < best_dollars:
-            frontier.append(candidate)
-            best_dollars = candidate.dollars
-    return frontier
+    dollars), ordered fastest-first."""
+    return dominance_sweep(
+        candidates, ClusterCandidate.sort_key, lambda c: c.dollars
+    )
 
 
 @dataclass

@@ -21,6 +21,7 @@ from . import (
     fig14_fit_a40,
     fig15_fit_gpus,
     seqlen_sensitivity,
+    spot_plan,
     table1_models,
     table2_datasets,
     table3_maxbatch,
@@ -47,6 +48,7 @@ ALL_EXPERIMENTS = {
     "table4": table4_cost,
     "seqlen": seqlen_sensitivity,
     "cluster": cluster_plan,
+    "spot": spot_plan,
 }
 
 __all__ = ["ALL_EXPERIMENTS", "ExperimentResult", "ExperimentRow"]

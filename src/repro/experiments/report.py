@@ -18,11 +18,10 @@ from __future__ import annotations
 
 import argparse
 import inspect
-import json
 from typing import Any, Dict, List
 
 from ..scenarios import default_cache
-from ..serialization import json_value as _json_value
+from ..serialization import dumps, json_value as _json_value
 from . import ALL_EXPERIMENTS
 from .common import ExperimentResult
 
@@ -120,7 +119,7 @@ def main(argv: List[str] | None = None) -> int:
     if args.as_json:
         payload = report_payload(include_training=args.training, scale=args.scale,
                                  jobs=args.jobs)
-        print(json.dumps(payload, indent=2))
+        print(dumps(payload, indent=2))
     else:
         print(run_report(include_training=args.training, scale=args.scale, jobs=args.jobs))
     return 0

@@ -163,13 +163,13 @@ def register_preset(
 def preset(name: str) -> ScenarioGrid:
     """Build a fresh grid from a registered preset."""
     if name not in _PRESETS:
-        # Experiment modules and the cluster subsystem register their
-        # grids at import time; pull them in on first miss so the
-        # advertised presets ("fig8", "table3", "cluster-scaling")
-        # resolve without a manual import.
+        # Experiment modules and the cluster/spot subsystems register
+        # their grids at import time; pull them in on first miss so the
+        # advertised presets ("fig8", "table3", "cluster-scaling",
+        # "spot-scaling") resolve without a manual import.
         import importlib
 
-        for module in ("repro.experiments", "repro.cluster"):
+        for module in ("repro.experiments", "repro.cluster", "repro.spot"):
             importlib.import_module(module)
         if name not in _PRESETS:
             raise KeyError(f"unknown preset {name!r}; available: {preset_names()}")

@@ -1,14 +1,19 @@
 """JSON-safe conversion shared by the machine-readable CLIs.
 
-``python -m repro.experiments.report --json`` and ``python -m
-repro.cluster.plan --json`` both promise strict JSON: numpy scalars are
-unwrapped and non-finite floats map to ``null`` (``json.dumps`` would
-otherwise emit bare ``NaN``/``Infinity`` tokens that strict parsers
-reject).
+``python -m repro.experiments.report --json``, ``python -m
+repro.cluster.plan --json`` and ``python -m repro.spot.plan --json`` all
+promise strict JSON: numpy scalars are unwrapped, non-finite floats map
+to ``null`` (``json.dumps`` would otherwise emit bare ``NaN``/``Infinity``
+tokens that strict parsers reject — the spot planner's Monte Carlo
+percentiles produce exactly those on degenerate inputs), and non-string
+dict keys are stringified. :func:`dumps` wraps the sanitization and sets
+``allow_nan=False`` so any float that slips past it fails loudly instead
+of corrupting the output.
 """
 
 from __future__ import annotations
 
+import json
 import math
 from typing import Any
 
@@ -30,10 +35,47 @@ def json_value(value: Any) -> Any:
     return value
 
 
+def _json_key(key: Any) -> str:
+    """A dict key made a JSON object key. Bool and non-finite float keys
+    take the spellings ``json.dumps`` would give them in key position
+    (``"true"``/``"false"``, ``"null"``); everything else stringifies
+    through :func:`json_value`."""
+    if isinstance(key, str):
+        return key
+    if isinstance(key, bool):
+        return "true" if key else "false"
+    sanitized = json_value(key)
+    return "null" if sanitized is None else str(sanitized)
+
+
 def jsonify(obj: Any) -> Any:
-    """Recursively JSON-safe copy of dicts/lists/tuples of scalars."""
+    """Recursively JSON-safe copy of dicts/lists/tuples/sets of scalars.
+
+    Dict keys that stringify to the same JSON key (``1`` next to ``"1"``)
+    would silently overwrite each other; that is corruption, so it raises
+    instead."""
     if isinstance(obj, dict):
-        return {key: jsonify(value) for key, value in obj.items()}
+        result = {}
+        for key, value in obj.items():
+            sanitized = _json_key(key)
+            if sanitized in result:
+                raise ValueError(
+                    f"dict keys collide after JSON sanitization: {key!r} -> "
+                    f"{sanitized!r} is already present"
+                )
+            result[sanitized] = jsonify(value)
+        return result
     if isinstance(obj, (list, tuple)):
         return [jsonify(value) for value in obj]
+    if isinstance(obj, (set, frozenset)):
+        # Sets are unordered; sort the sanitized members by their JSON
+        # text so serialization is deterministic.
+        return sorted((jsonify(value) for value in obj), key=lambda v: json.dumps(v))
     return json_value(obj)
+
+
+def dumps(obj: Any, **kwargs: Any) -> str:
+    """Strict-JSON ``json.dumps``: sanitize first, then refuse non-finite
+    floats outright so the output is always parseable."""
+    kwargs.setdefault("allow_nan", False)
+    return json.dumps(jsonify(obj), **kwargs)

@@ -1,0 +1,105 @@
+"""Spot-market risk subsystem — preemption-aware cost estimation.
+
+The paper's Eq. 2 prices wall-clock hours at on-demand rates; real
+fine-tuning budgets lean on spot/preemptible capacity, whose
+interruptions stretch wall-clock time and can eat the discount. This
+package layers an explicit risk model on the cluster planner:
+
+* :class:`SpotMarket` — per-provider preemption hazard (exponential
+  interruption model, mean-time-between-preemptions), registered beside
+  the :mod:`repro.cloud.pricing` spot price tier;
+* :class:`CheckpointPolicy` — checkpoint cadence with write/restart
+  costs derived from the model's state size via ``memory.estimator``;
+* :func:`expected_makespan_hours` — closed-form expected makespan under
+  the hazard + policy, validated by the seeded, deterministic
+  :class:`SpotSimulator` Monte Carlo (p50/p95, completion probability);
+* :class:`RiskAdjustedPlanner` — every cluster candidate priced on
+  demand *and* spot-with-risk; the Pareto frontier gains an
+  (expected dollars, p95 hours) view and the deadline pick accepts a
+  completion-probability target;
+* ``python -m repro.spot.plan`` — the risk-adjusted "what will this
+  fine-tune cost?" CLI, mirroring ``repro.cluster.plan``.
+
+The risk layer is pure post-processing over cached replica traces:
+sweeping spot markets and checkpoint cadences adds zero simulations.
+"""
+
+from ..scenarios import ScenarioGrid, register_preset
+from .checkpoint import (
+    CheckpointPolicy,
+    DEFAULT_INTERVAL_MINUTES,
+    checkpoint_state_gb,
+    restart_state_gb,
+)
+from .market import (
+    DEFAULT_MTBP_HOURS,
+    SPOT_MARKETS,
+    SpotMarket,
+    get_spot_market,
+)
+from .planner import (
+    DEFAULT_CONFIDENCE,
+    ONDEMAND,
+    SPOT,
+    RiskAdjustedPlanner,
+    SpotCandidate,
+    SpotPlan,
+    risk_pareto_frontier,
+)
+from .risk import (
+    MakespanDistribution,
+    SpotSimulator,
+    expected_makespan_hours,
+    expected_preemptions,
+    segment_lengths,
+)
+from .scenario import SpotScenario, spot_product
+
+__all__ = [
+    "CheckpointPolicy",
+    "DEFAULT_CONFIDENCE",
+    "DEFAULT_INTERVAL_MINUTES",
+    "DEFAULT_MTBP_HOURS",
+    "MakespanDistribution",
+    "ONDEMAND",
+    "RiskAdjustedPlanner",
+    "SPOT",
+    "SPOT_MARKETS",
+    "SpotCandidate",
+    "SpotMarket",
+    "SpotPlan",
+    "SpotScenario",
+    "SpotSimulator",
+    "checkpoint_state_gb",
+    "expected_makespan_hours",
+    "expected_preemptions",
+    "get_spot_market",
+    "restart_state_gb",
+    "risk_pareto_frontier",
+    "segment_lengths",
+    "spot_product",
+]
+
+
+def _spot_scaling_grid() -> ScenarioGrid:
+    """The risk sweep's default grid: the ``cluster-scaling`` axes
+    (Mixtral QLoRA vs BlackMamba full fine-tuning on the A40, both
+    interconnects, 1-8 GPUs) crossed with three checkpoint cadences.
+    Every cadence shares its cluster point's replica trace, so this grid
+    simulates no more than ``cluster-scaling`` does."""
+    from ..cluster.planner import DEFAULT_INTERCONNECTS, DEFAULT_NUM_GPUS
+    from ..models.config import BLACKMAMBA_2_8B, MIXTRAL_8X7B
+
+    return spot_product(
+        models=(MIXTRAL_8X7B, BLACKMAMBA_2_8B),
+        gpus=("A40",),
+        batch_sizes=(4,),
+        seq_lens=(128,),
+        num_gpus=DEFAULT_NUM_GPUS,
+        interconnects=DEFAULT_INTERCONNECTS,
+        checkpoint_minutes=(10.0, 30.0, 60.0),
+    )
+
+
+# Idempotent across reloads, like the cluster preset.
+register_preset("spot-scaling", _spot_scaling_grid, overwrite=True)

@@ -1,0 +1,112 @@
+"""Checkpoint policy: what surviving preemptions costs.
+
+A spot fine-tune survives preemptions by periodically writing its
+trainable state to durable storage and, after an interruption, restoring
+the last checkpoint and redoing the lost work. The policy quantifies the
+three overheads the makespan model needs:
+
+* ``write_seconds`` — serializing the checkpoint state. Derived from the
+  model's state size via :mod:`repro.memory.estimator`: a QLoRA recipe
+  checkpoints only adapters + optimizer moments (the frozen NF4 base
+  weights are re-downloadable), a full fine-tune checkpoints weights +
+  optimizer moments.
+* ``restart_seconds`` — reacquiring capacity, reloading base weights and
+  the checkpoint, and rewarming the step pipeline.
+* ``interval_minutes`` — the cadence; shorter intervals bound the lost
+  work per preemption but pay the write cost more often.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..memory.estimator import memory_breakdown
+from ..models.config import BlackMambaConfig, MixtralConfig
+
+ModelConfig = Union[MixtralConfig, BlackMambaConfig]
+
+# Sustained sequential bandwidth to/from the checkpoint store (network
+# volume class, not local NVMe — spot state must outlive the instance).
+DEFAULT_DISK_BANDWIDTH_GBS = 1.0
+
+# Reacquire capacity + container start + CUDA context + first-step warmup.
+DEFAULT_PROVISION_SECONDS = 180.0
+
+DEFAULT_INTERVAL_MINUTES = 30.0
+
+
+def checkpoint_state_gb(cfg: ModelConfig) -> float:
+    """GB written per checkpoint under the paper's recipes.
+
+    Uses the memory estimator's breakdown at its minimal sequence length:
+    checkpoint size depends only on the batch-independent state terms, so
+    the activation axis is irrelevant here.
+    """
+    breakdown = memory_breakdown(cfg, seq_len=1, dense=False)
+    if breakdown.adapter_gb > 0:  # adapter recipe: base weights frozen
+        return breakdown.adapter_gb + breakdown.optimizer_gb
+    return breakdown.weights_gb + breakdown.optimizer_gb
+
+
+def restart_state_gb(cfg: ModelConfig) -> float:
+    """GB read back on restart: resident weights plus the checkpoint."""
+    breakdown = memory_breakdown(cfg, seq_len=1, dense=False)
+    return breakdown.weights_gb + checkpoint_state_gb(cfg)
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """One checkpointing configuration for the makespan model."""
+
+    interval_minutes: float
+    write_seconds: float
+    restart_seconds: float
+
+    def __post_init__(self) -> None:
+        if not self.interval_minutes > 0:  # also rejects NaN
+            raise ValueError(
+                f"interval_minutes must be positive, got {self.interval_minutes}"
+            )
+        if self.write_seconds < 0:
+            raise ValueError(f"write_seconds must be >= 0, got {self.write_seconds}")
+        if self.restart_seconds < 0:
+            raise ValueError(f"restart_seconds must be >= 0, got {self.restart_seconds}")
+
+    # Hours are the planner's native unit.
+    @property
+    def interval_hours(self) -> float:
+        return self.interval_minutes / 60.0
+
+    @property
+    def write_hours(self) -> float:
+        return self.write_seconds / 3600.0
+
+    @property
+    def restart_hours(self) -> float:
+        return self.restart_seconds / 3600.0
+
+    @property
+    def write_overhead_fraction(self) -> float:
+        """Preemption-free slowdown: checkpoint time per interval of work."""
+        return self.write_hours / self.interval_hours
+
+    @classmethod
+    def for_model(
+        cls,
+        cfg: ModelConfig,
+        interval_minutes: float = DEFAULT_INTERVAL_MINUTES,
+        disk_bandwidth_gbs: float = DEFAULT_DISK_BANDWIDTH_GBS,
+        provision_seconds: float = DEFAULT_PROVISION_SECONDS,
+    ) -> "CheckpointPolicy":
+        """Derive write/restart costs from the model's state sizes."""
+        if disk_bandwidth_gbs <= 0:
+            raise ValueError(
+                f"disk_bandwidth_gbs must be positive, got {disk_bandwidth_gbs}"
+            )
+        return cls(
+            interval_minutes=interval_minutes,
+            write_seconds=checkpoint_state_gb(cfg) / disk_bandwidth_gbs,
+            restart_seconds=provision_seconds
+            + restart_state_gb(cfg) / disk_bandwidth_gbs,
+        )

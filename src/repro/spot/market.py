@@ -1,0 +1,89 @@
+"""Spot-market interruption model.
+
+A spot (preemptible) instance is cheap because the provider may reclaim
+it at any moment. The subsystem models reclamation as a memoryless
+hazard: preemptions arrive as a Poisson process with a provider-specific
+mean time between preemptions (MTBP), so the time to the next preemption
+is exponentially distributed with rate ``1 / mtbp_hours``. Memorylessness
+is the standard first-order model for cloud preemption traces and is
+what makes the closed-form makespan in :mod:`repro.spot.risk` tractable;
+providers that never preempt are expressed as ``mtbp_hours = inf``
+(hazard rate zero), which degrades every estimate in the subsystem to
+its on-demand value exactly.
+
+Prices live in :mod:`repro.cloud.pricing` (the spot tier of the
+catalog); this module owns only the risk side of the market.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class SpotMarket:
+    """The interruption behavior of one provider's spot pool.
+
+    ``mtbp_hours`` is the mean time between preemptions observed by a
+    single instance. A fleet of N instances observes interruptions N
+    times as often, but data-parallel training stalls whenever *any*
+    replica dies, so the planner scales the hazard by the cluster size
+    (see :meth:`fleet_rate_per_hour`).
+    """
+
+    provider: str
+    mtbp_hours: float
+
+    def __post_init__(self) -> None:
+        if not self.mtbp_hours > 0:  # also rejects NaN
+            raise ValueError(
+                f"mtbp_hours must be positive (inf = never preempted), "
+                f"got {self.mtbp_hours}"
+            )
+
+    @property
+    def preemptions_per_hour(self) -> float:
+        """Single-instance hazard rate; 0 when never preempted."""
+        return 0.0 if math.isinf(self.mtbp_hours) else 1.0 / self.mtbp_hours
+
+    def fleet_rate_per_hour(self, num_instances: int) -> float:
+        """Hazard rate of "some replica is preempted" for a fleet: the
+        minimum of N independent exponentials is exponential with the
+        summed rate."""
+        if num_instances < 1:
+            raise ValueError(f"num_instances must be >= 1, got {num_instances}")
+        return self.preemptions_per_hour * num_instances
+
+    def preemption_probability(self, hours: float, num_instances: int = 1) -> float:
+        """P(at least one preemption within ``hours``)."""
+        if hours < 0:
+            raise ValueError(f"hours must be >= 0, got {hours}")
+        return -math.expm1(-self.fleet_rate_per_hour(num_instances) * hours)
+
+    def with_mtbp(self, mtbp_hours: float) -> "SpotMarket":
+        """This market with an overridden MTBP (the ``--mtbp-hours`` knob)."""
+        return replace(self, mtbp_hours=mtbp_hours)
+
+
+# Representative single-instance MTBPs. Reserved-capacity clouds reclaim
+# rarely (interruptions a few times per day at worst); community/auction
+# pools churn faster. These are model inputs like the price catalog rates
+# — override per run with --mtbp-hours or a custom market mapping.
+SPOT_MARKETS: Dict[str, SpotMarket] = {
+    "cudo": SpotMarket("cudo", mtbp_hours=8.0),
+    "runpod": SpotMarket("runpod", mtbp_hours=4.0),
+}
+
+# Hazard assumed for providers without a measured entry.
+DEFAULT_MTBP_HOURS = 6.0
+
+
+def get_spot_market(provider: str, mtbp_hours: Optional[float] = None) -> SpotMarket:
+    """The market model for one provider: the registry entry, or a default
+    -MTBP market for unlisted providers; ``mtbp_hours`` overrides either."""
+    market = SPOT_MARKETS.get(provider, SpotMarket(provider, DEFAULT_MTBP_HOURS))
+    if mtbp_hours is not None:
+        market = market.with_mtbp(mtbp_hours)
+    return market

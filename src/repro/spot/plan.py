@@ -1,16 +1,18 @@
-"""Plan a multi-GPU fine-tune: Pareto cost/time frontier from the CLI.
+"""Plan a fine-tune across spot and on-demand tiers from the CLI.
 
 Usage::
 
-    python -m repro.cluster.plan --model mixtral --gpu a40 --deadline-hours 24 --json
-    python -m repro.cluster.plan --model blackmamba --budget 50
-    python -m repro.cluster.plan --model mixtral --dataset openorca --jobs 4
+    python -m repro.spot.plan --model mixtral --gpu a40 --deadline-hours 24 --confidence 0.95 --json
+    python -m repro.spot.plan --model mixtral --mtbp-hours 2 --checkpoint-minutes 10,30,60
+    python -m repro.spot.plan --model blackmamba --spot only --budget 50 --jobs 4
 
-Mirrors ``repro.experiments.report``: ``--json`` for machine-readable
-output, ``--jobs`` for parallel sweeps (order-independent by design — the
-plan is byte-identical at any job count). Model and GPU names are
-resolved case-insensitively with unique-prefix matching, so ``--model
-mixtral --gpu a40`` means the paper-scale Mixtral on the A40.
+Mirrors ``python -m repro.cluster.plan`` (same model/GPU resolution, same
+``--json``/``--jobs`` contract — output is byte-identical at any job
+count, Monte Carlo seeds included) and adds the risk knobs: ``--spot``
+selects the tiers, ``--mtbp-hours`` overrides every provider's mean time
+between preemptions, ``--checkpoint-minutes`` offers checkpoint cadences
+(each spot candidate adopts the best one), and ``--confidence`` sets the
+completion-probability target a deadline must be met with.
 """
 
 from __future__ import annotations
@@ -18,84 +20,34 @@ from __future__ import annotations
 import argparse
 from typing import List, Optional, Sequence
 
+from ..cluster.plan import (
+    _parse_densities,
+    _parse_num_gpus,
+    _parse_positive_csv,
+    resolve_gpu_name,
+    resolve_model_key,
+)
 from ..gpu.multigpu import INTERCONNECTS
-from ..gpu.specs import GPU_REGISTRY
-from ..models.registry import MODEL_REGISTRY
 from ..serialization import dumps
-from .planner import DEFAULT_INTERCONNECTS, DEFAULT_NUM_GPUS, ClusterPlanner
-
-# Family shorthands resolve to the paper-scale configs (never the tiny
-# training stand-ins, which share the family prefix).
-MODEL_ALIASES = {
-    "mixtral": "mixtral-8x7b",
-    "blackmamba": "blackmamba-2.8b",
-}
+from .checkpoint import DEFAULT_INTERVAL_MINUTES
+from .planner import DEFAULT_CONFIDENCE, DEFAULT_SEED, RiskAdjustedPlanner
+from .risk import DEFAULT_TRIALS
+from ..cluster.planner import DEFAULT_INTERCONNECTS, DEFAULT_NUM_GPUS
 
 
-def _resolve(name: str, registry, kind: str, aliases=None) -> str:
-    """Registry entry for ``name``: alias, exact (case-insensitive)
-    match, or unique prefix — with an ambiguity/availability hint."""
-    lowered = name.lower()
-    if aliases and lowered in aliases:
-        return aliases[lowered]
-    table = {entry.lower(): entry for entry in registry}
-    if lowered in table:
-        return table[lowered]
-    matches = sorted(entry for low, entry in table.items() if low.startswith(lowered))
-    if len(matches) == 1:
-        return matches[0]
-    hint = f"ambiguous between {matches}" if matches else f"available: {sorted(registry)}"
-    raise KeyError(f"unknown {kind} {name!r}; {hint}")
-
-
-def resolve_model_key(name: str) -> str:
-    """Model registry key: family alias ('mixtral'), exact key, or
-    unique prefix."""
-    return _resolve(name, MODEL_REGISTRY, "model", MODEL_ALIASES)
-
-
-def resolve_gpu_name(name: str) -> str:
-    """GPU registry name: exact or unique prefix, so ``a40`` and ``h100``
-    work while ``a100`` demands a suffix."""
-    return _resolve(name, GPU_REGISTRY, "GPU")
-
-
-def _parse_positive_csv(values: List[str], convert, invalid: str, empty: str):
-    """Repeatable comma-separated flag values as a deduped tuple of
-    positive numbers (shared by ``--num-gpus`` here and the spot CLI's
-    ``--checkpoint-minutes``). Conversion errors surface via
-    ``parser.error`` in the callers' ``main``."""
-    items = []
-    for value in values:
-        for part in value.split(","):
-            if not part:
-                continue
-            item = convert(part)
-            if not item > 0:  # also rejects NaN
-                raise ValueError(invalid.format(item))
-            items.append(item)
-    if not items:
-        raise ValueError(empty)
-    return tuple(dict.fromkeys(items))  # dedupe, preserving order
-
-
-def _parse_num_gpus(values: Optional[List[str]]) -> Sequence[int]:
+def _parse_checkpoint_minutes(values: Optional[List[str]]) -> Sequence[float]:
     if not values:
-        return DEFAULT_NUM_GPUS
+        return (DEFAULT_INTERVAL_MINUTES,)
     return _parse_positive_csv(
-        values, int,
-        "cluster sizes must be >= 1, got {}",
-        "--num-gpus given but no cluster sizes parsed",
+        values, float,
+        "checkpoint cadences must be > 0 minutes, got {}",
+        "--checkpoint-minutes given but no cadences parsed",
     )
-
-
-def _parse_densities(density: str) -> Sequence[bool]:
-    return {"sparse": (False,), "dense": (True,), "both": (False, True)}[density]
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="python -m repro.cluster.plan",
+        prog="python -m repro.spot.plan",
         description=__doc__.splitlines()[0],
     )
     parser.add_argument("--model", required=True,
@@ -123,7 +75,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--deadline-hours", type=float, default=None,
                         help="wall-clock target the recommendation must meet")
     parser.add_argument("--budget", type=float, default=None, dest="budget_dollars",
-                        help="dollar target the recommendation must meet")
+                        help="expected-dollar target the recommendation must meet")
+    parser.add_argument("--spot", choices=("both", "only", "off"), default="both",
+                        help="capacity tiers to price (default: both)")
+    parser.add_argument("--mtbp-hours", type=float, default=None,
+                        help="override every provider's mean time between preemptions "
+                             "(default: per-provider market model; inf = never preempted)")
+    parser.add_argument("--checkpoint-minutes", action="append", metavar="M[,M...]",
+                        help=f"checkpoint cadence(s) offered to the policy; each spot "
+                             f"candidate adopts the best (default: {DEFAULT_INTERVAL_MINUTES:g})")
+    parser.add_argument("--confidence", type=float, default=DEFAULT_CONFIDENCE,
+                        help="completion probability the deadline must be met with "
+                             f"(default: {DEFAULT_CONFIDENCE})")
+    parser.add_argument("--trials", type=int, default=DEFAULT_TRIALS,
+                        help=f"Monte Carlo trials per spot candidate (default: {DEFAULT_TRIALS})")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help="base Monte Carlo seed (per-candidate seeds derive from it)")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker threads for the trace sweep (plan output is "
                              "identical at any job count)")
@@ -141,25 +108,38 @@ def main(argv: Optional[List[str]] = None) -> int:
         model_key = resolve_model_key(args.model)
         gpus = [resolve_gpu_name(g) for g in args.gpu] if args.gpu else None
         num_gpus = _parse_num_gpus(args.num_gpus)
+        checkpoint_minutes = _parse_checkpoint_minutes(args.checkpoint_minutes)
+        if args.mtbp_hours is not None and not args.mtbp_hours > 0:
+            raise ValueError(f"--mtbp-hours must be positive, got {args.mtbp_hours}")
+        if not 0.0 <= args.confidence <= 1.0:
+            raise ValueError(f"--confidence must be in [0, 1], got {args.confidence}")
+        if args.trials < 1:
+            raise ValueError(f"--trials must be >= 1, got {args.trials}")
     except (KeyError, ValueError) as exc:
         parser.error(str(exc))
-    planner = ClusterPlanner(
+    planner = RiskAdjustedPlanner(
         model_key,
         dataset=args.dataset,
         epochs=args.epochs,
         num_queries=args.num_queries,
         seq_len=args.seq_len,
         jobs=args.jobs,
+        mtbp_hours=args.mtbp_hours,
+        checkpoint_minutes=checkpoint_minutes,
+        trials=args.trials,
+        seed=args.seed,
     )
-    plan = planner.plan(
+    plan = planner.plan_spot(
+        spot=args.spot,
+        confidence=args.confidence,
+        deadline_hours=args.deadline_hours,
+        budget_dollars=args.budget_dollars,
         gpus=gpus,
         providers=args.provider,
         num_gpus=num_gpus,
         interconnects=tuple(args.interconnect) if args.interconnect else DEFAULT_INTERCONNECTS,
         densities=_parse_densities(args.density),
         batch_sizes=tuple(args.batch_size) if args.batch_size else None,
-        deadline_hours=args.deadline_hours,
-        budget_dollars=args.budget_dollars,
     )
     if args.as_json:
         print(dumps(plan.to_payload(), indent=2))

@@ -1,0 +1,506 @@
+"""Risk-adjusted cluster planning over spot and on-demand tiers.
+
+:class:`RiskAdjustedPlanner` extends the PR 2
+:class:`~repro.cluster.planner.ClusterPlanner`: the cluster sweep (and
+its cached replica traces) is inherited unchanged, and every resulting
+:class:`~repro.cluster.planner.ClusterCandidate` is priced twice —
+
+* **on-demand**: the PR 2 numbers, makespan = wall-clock hours exactly;
+* **spot**: the provider's discounted rate against a *risk-adjusted*
+  makespan from :mod:`repro.spot.risk` — closed-form expectation for
+  ranking, seeded Monte Carlo for p50/p95 and completion probability.
+
+The spot math is pure post-processing over already-priced candidates, so
+the risk sweep performs **zero** additional simulations beyond the
+on-demand plan, warm or cold.
+
+Spot candidates whose expected cost exceeds their own on-demand cost
+(possible when the hazard is high enough that lost work and restarts eat
+the discount) are *excluded with a recorded reason* rather than listed —
+every spot candidate in a plan is expected to save money.
+
+The Pareto frontier gains the risk view: (p95 hours, expected dollars).
+An on-demand candidate's p95 equals its deterministic hours, so safe
+configurations compete with cheap-but-risky ones on one chart, and the
+"cheapest under deadline" pick accepts a completion-probability target
+("≥95% chance of finishing in 24 h").
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..cloud.pricing import PriceCatalog
+from ..cluster.planner import (
+    ClusterCandidate,
+    ClusterPlan,
+    ClusterPlanner,
+    dominance_sweep,
+)
+from ..scenarios import SimulationCache
+from ..scenarios.scenario import ModelConfig
+from .checkpoint import (
+    DEFAULT_DISK_BANDWIDTH_GBS,
+    DEFAULT_INTERVAL_MINUTES,
+    DEFAULT_PROVISION_SECONDS,
+    CheckpointPolicy,
+)
+from .market import SpotMarket, get_spot_market
+from .risk import (
+    DEFAULT_TRIALS,
+    SpotSimulator,
+    expected_makespan_hours,
+    expected_preemptions,
+)
+
+ONDEMAND = "ondemand"
+SPOT = "spot"
+
+DEFAULT_CONFIDENCE = 0.95
+DEFAULT_SEED = 20240724  # the paper's venue year/month; any constant works
+
+
+@dataclass(frozen=True)
+class SpotCandidate:
+    """One cluster candidate priced at one capacity tier.
+
+    For the on-demand tier the distribution is a point mass at the
+    deterministic makespan (p50 = p95 = expected = hours, completion is
+    0/1 against the deadline); for the spot tier the fields carry the
+    closed-form expectation and the Monte Carlo percentiles.
+    """
+
+    base: ClusterCandidate
+    tier: str  # ONDEMAND | SPOT
+    dollars_per_gpu_hour: float  # the billed rate for this tier
+    expected_hours: float  # closed-form expectation
+    mc_mean_hours: float  # Monte Carlo sampled mean (validates the closed form)
+    p50_hours: float
+    p95_hours: float
+    expected_preemptions: float
+    completion_probability: float  # within the plan deadline (1.0 if none)
+    market: Optional[SpotMarket] = None
+    policy: Optional[CheckpointPolicy] = None
+
+    @property
+    def scenario(self):
+        return self.base.scenario
+
+    @property
+    def provider(self) -> str:
+        return self.base.provider
+
+    @property
+    def label(self) -> str:
+        return f"{self.base.label}_{self.tier}"
+
+    @property
+    def ondemand_hours(self) -> float:
+        return self.base.hours
+
+    @property
+    def ondemand_dollars(self) -> float:
+        return self.base.dollars
+
+    def _dollars(self, hours: float) -> float:
+        return hours * self.dollars_per_gpu_hour * self.base.scenario.num_gpus
+
+    @property
+    def expected_dollars(self) -> float:
+        return self._dollars(self.expected_hours)
+
+    @property
+    def p95_dollars(self) -> float:
+        return self._dollars(self.p95_hours)
+
+    @property
+    def expected_savings(self) -> float:
+        """Expected dollars saved vs running this cluster on demand."""
+        return self.ondemand_dollars - self.expected_dollars
+
+    def meets(
+        self,
+        deadline_hours: Optional[float] = None,
+        budget_dollars: Optional[float] = None,
+        confidence: float = DEFAULT_CONFIDENCE,
+    ) -> bool:
+        """Feasibility under the risk-adjusted targets: the deadline must
+        be met with at least ``confidence`` probability, the budget is
+        checked against expected dollars."""
+        if deadline_hours is not None and self.completion_probability < confidence:
+            return False
+        if budget_dollars is not None and self.expected_dollars > budget_dollars:
+            return False
+        return True
+
+    def sort_key(self) -> Tuple:
+        """Deterministic total order on the risk view: tight-tail before
+        loose, cheap-in-expectation before expensive, label last (which
+        also orders the on-demand tier before spot on exact ties)."""
+        return (self.p95_hours, self.expected_dollars, self.label)
+
+    def to_dict(self) -> Dict[str, object]:
+        scenario = self.base.scenario
+        return {
+            "label": self.label,
+            "tier": self.tier,
+            "gpu": scenario.gpu_spec.name,
+            "provider": self.provider,
+            "num_gpus": scenario.num_gpus,
+            "interconnect": scenario.interconnect_spec.name,
+            "dense": scenario.dense,
+            "per_gpu_batch": scenario.batch_size,
+            "dollars_per_gpu_hour": self.dollars_per_gpu_hour,
+            "expected_hours": self.expected_hours,
+            "mc_mean_hours": self.mc_mean_hours,
+            "p50_hours": self.p50_hours,
+            "p95_hours": self.p95_hours,
+            "expected_dollars": self.expected_dollars,
+            "p95_dollars": self.p95_dollars,
+            "ondemand_hours": self.ondemand_hours,
+            "ondemand_dollars": self.ondemand_dollars,
+            "expected_preemptions": self.expected_preemptions,
+            "completion_probability": self.completion_probability,
+            "mtbp_hours": self.market.mtbp_hours if self.market else None,
+            "checkpoint_minutes": self.policy.interval_minutes if self.policy else None,
+        }
+
+
+def risk_pareto_frontier(candidates: Sequence[SpotCandidate]) -> List[SpotCandidate]:
+    """Non-dominated candidates under (minimize p95 hours, minimize
+    expected dollars) — the risk-adjusted analogue of the cluster
+    planner's frontier, sharing its weak-dominance/tie-collapse sweep."""
+    return dominance_sweep(
+        candidates, SpotCandidate.sort_key, lambda c: c.expected_dollars
+    )
+
+
+@dataclass
+class SpotPlan:
+    """The risk planner's full answer: both tiers, risk frontier,
+    confidence-constrained recommendation, and the untouched on-demand
+    plan it was derived from."""
+
+    ondemand: ClusterPlan
+    confidence: float
+    spot_mode: str  # "both" | "only" | "off"
+    candidates: List[SpotCandidate]
+    frontier: List[SpotCandidate]
+    recommended: Optional[SpotCandidate]
+    fastest: Optional[SpotCandidate]
+    excluded: List[str] = field(default_factory=list)
+
+    @property
+    def deadline_hours(self) -> Optional[float]:
+        return self.ondemand.deadline_hours
+
+    @property
+    def budget_dollars(self) -> Optional[float]:
+        return self.ondemand.budget_dollars
+
+    @property
+    def feasible(self) -> List[SpotCandidate]:
+        return [
+            c for c in self.candidates
+            if c.meets(self.deadline_hours, self.budget_dollars, self.confidence)
+        ]
+
+    @property
+    def spot_candidates(self) -> List[SpotCandidate]:
+        return [c for c in self.candidates if c.tier == SPOT]
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-serializable plan (``--json``), deterministically ordered."""
+        return {
+            "model": self.ondemand.model_name,
+            "dataset": self.ondemand.dataset,
+            "seq_len": self.ondemand.seq_len,
+            "num_queries": self.ondemand.num_queries,
+            "epochs": self.ondemand.epochs,
+            "deadline_hours": self.deadline_hours,
+            "budget_dollars": self.budget_dollars,
+            "confidence": self.confidence,
+            "spot": self.spot_mode,
+            "num_candidates": len(self.candidates),
+            "num_spot_candidates": len(self.spot_candidates),
+            "num_feasible": len(self.feasible),
+            "frontier": [c.to_dict() for c in self.frontier],
+            "recommended": self.recommended.to_dict() if self.recommended else None,
+            "fastest": self.fastest.to_dict() if self.fastest else None,
+            "excluded": list(self.excluded),
+            "skipped": list(self.ondemand.skipped),
+            "ondemand_frontier": [c.to_dict() for c in self.ondemand.frontier],
+        }
+
+    def to_table(self, top: int = 10) -> str:
+        """Risk frontier + recommendation as a report-style text table."""
+        od = self.ondemand
+        lines = [
+            f"== spot plan: {od.model_name} on {od.dataset or f'seq {od.seq_len}'} "
+            f"({od.num_queries} queries x {od.epochs} epochs) ==",
+        ]
+        target = []
+        if self.deadline_hours is not None:
+            target.append(
+                f"deadline {self.deadline_hours:g} h @ >= {self.confidence:.0%}"
+            )
+        if self.budget_dollars is not None:
+            target.append(f"budget ${self.budget_dollars:g} (expected)")
+        lines.append(
+            f"target: {', '.join(target) if target else 'none (full frontier)'}; "
+            f"{len(self.feasible)}/{len(self.candidates)} candidates feasible; "
+            f"spot tier: {self.spot_mode}"
+        )
+        width = max([len(c.label) for c in self.frontier[:top]] + [12])
+        lines.append(
+            f"{'risk-pareto configuration':<{width}}  {'E[h]':>8}  {'p95 h':>8}  "
+            f"{'E[$]':>9}  {'P(done)':>7}  {'preempt':>7}"
+        )
+        for c in self.frontier[:top]:
+            lines.append(
+                f"{c.label:<{width}}  {c.expected_hours:>8.2f}  {c.p95_hours:>8.2f}  "
+                f"{c.expected_dollars:>9.2f}  {c.completion_probability:>7.2f}  "
+                f"{c.expected_preemptions:>7.2f}"
+            )
+        if len(self.frontier) > top:
+            lines.append(f"... {len(self.frontier) - top} more frontier points (--top)")
+        if self.recommended is not None:
+            r = self.recommended
+            lines.append(
+                f"recommended: {r.label} — E[${r.expected_dollars:.2f}] in "
+                f"E[{r.expected_hours:.2f} h] (p95 {r.p95_hours:.2f} h, "
+                f"P(meets target) {r.completion_probability:.2f})"
+            )
+            if r.tier == SPOT:
+                lines.append(
+                    f"             expected saving vs on-demand: "
+                    f"${r.expected_savings:.2f} "
+                    f"({r.expected_preemptions:.1f} preemptions expected)"
+                )
+        else:
+            lines.append("recommended: none — no configuration meets the target")
+        if self.fastest is not None and self.fastest is not self.recommended:
+            f = self.fastest
+            lines.append(
+                f"fastest feasible: {f.label} — p95 {f.p95_hours:.2f} h for "
+                f"E[${f.expected_dollars:.2f}]"
+            )
+        for reason in self.excluded:
+            lines.append(f"excluded: {reason}")
+        for reason in od.skipped:
+            lines.append(f"skipped: {reason}")
+        return "\n".join(lines)
+
+
+class RiskAdjustedPlanner(ClusterPlanner):
+    """The cluster planner with a spot tier and an interruption model.
+
+    The sweep, memory filtering, trace caching and on-demand pricing are
+    inherited; this class adds per-provider spot markets, a checkpoint
+    policy derived from the model's state size, and the risk estimators.
+    ``checkpoint_minutes`` may list several cadences — each spot candidate
+    adopts the cadence minimizing its closed-form expected makespan, so
+    the cadence axis is optimized out per candidate rather than
+    multiplying the plan.
+    """
+
+    def __init__(
+        self,
+        model: Union[str, ModelConfig],
+        dataset: Optional[str] = "math14k",
+        epochs: int = 10,
+        num_queries: Optional[int] = None,
+        seq_len: Optional[int] = None,
+        catalog: Optional[PriceCatalog] = None,
+        cache: Optional[SimulationCache] = None,
+        jobs: int = 1,
+        markets: Optional[Mapping[str, SpotMarket]] = None,
+        mtbp_hours: Optional[float] = None,
+        checkpoint_minutes: Sequence[float] = (DEFAULT_INTERVAL_MINUTES,),
+        disk_bandwidth_gbs: float = DEFAULT_DISK_BANDWIDTH_GBS,
+        provision_seconds: float = DEFAULT_PROVISION_SECONDS,
+        trials: int = DEFAULT_TRIALS,
+        seed: int = DEFAULT_SEED,
+    ) -> None:
+        super().__init__(
+            model,
+            dataset=dataset,
+            epochs=epochs,
+            num_queries=num_queries,
+            seq_len=seq_len,
+            catalog=catalog,
+            cache=cache,
+            jobs=jobs,
+        )
+        self.markets = dict(markets) if markets is not None else {}
+        self.mtbp_hours = mtbp_hours
+        intervals = tuple(dict.fromkeys(checkpoint_minutes))
+        if not intervals:
+            raise ValueError("checkpoint_minutes must name at least one cadence")
+        self.policies: Tuple[CheckpointPolicy, ...] = tuple(
+            CheckpointPolicy.for_model(
+                self.cfg,
+                interval_minutes=minutes,
+                disk_bandwidth_gbs=disk_bandwidth_gbs,
+                provision_seconds=provision_seconds,
+            )
+            for minutes in intervals
+        )
+        self.simulator = SpotSimulator(trials=trials, seed=seed)
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def market_for(self, provider: str) -> SpotMarket:
+        """The provider's interruption model: an explicit mapping entry,
+        else the registry default — with the planner-wide MTBP override
+        (``--mtbp-hours``) applied on top of either."""
+        market = self.markets.get(provider)
+        if market is None:
+            market = get_spot_market(provider)
+        if self.mtbp_hours is not None:
+            market = market.with_mtbp(self.mtbp_hours)
+        return market
+
+    def _seed_for(self, candidate: ClusterCandidate) -> int:
+        """Candidate-deterministic Monte Carlo seed: stable across runs,
+        processes and ``--jobs`` (crc32, unlike ``hash()``, is unsalted)."""
+        return self.seed ^ zlib.crc32(candidate.label.encode())
+
+    def _spot_candidate(
+        self,
+        base: ClusterCandidate,
+        deadline_hours: Optional[float],
+    ) -> Union[SpotCandidate, str]:
+        """Risk-price one candidate on the spot tier, or the exclusion
+        reason when spot cannot beat the candidate's own on-demand cost."""
+        scenario = base.scenario
+        market = self.market_for(base.provider)
+        rate = market.fleet_rate_per_hour(scenario.num_gpus)
+        work = base.hours
+        # Ties (e.g. every cadence at zero hazard) break toward the
+        # shortest interval; keying explicitly also keeps min() from
+        # comparing the unorderable policy dataclasses themselves.
+        expected, policy = min(
+            ((expected_makespan_hours(work, rate, p), p) for p in self.policies),
+            key=lambda pair: (pair[0], pair[1].interval_minutes),
+        )
+        spot_rate = self.catalog.spot_dollars_per_hour(
+            scenario.gpu_spec.name, base.provider
+        )
+        expected_dollars = expected * spot_rate * scenario.num_gpus
+        if expected_dollars > base.dollars:
+            return (
+                f"{base.label}: spot expected ${expected_dollars:.2f} exceeds "
+                f"on-demand ${base.dollars:.2f} "
+                f"(mtbp {market.mtbp_hours:g} h x{scenario.num_gpus}, "
+                f"checkpoint {policy.interval_minutes:g} min)"
+            )
+        distribution = self.simulator.simulate(
+            work, rate, policy, seed=self._seed_for(base)
+        )
+        return SpotCandidate(
+            base=base,
+            tier=SPOT,
+            dollars_per_gpu_hour=spot_rate,
+            expected_hours=expected,
+            mc_mean_hours=distribution.mean_hours,
+            p50_hours=distribution.p50_hours,
+            p95_hours=distribution.p95_hours,
+            expected_preemptions=expected_preemptions(work, rate, policy),
+            completion_probability=distribution.completion_probability(deadline_hours),
+            market=market,
+            policy=policy,
+        )
+
+    @staticmethod
+    def _ondemand_candidate(
+        base: ClusterCandidate, deadline_hours: Optional[float]
+    ) -> SpotCandidate:
+        """The uninterrupted tier: a point-mass distribution at the PR 2
+        makespan, so the risk view degenerates to (hours, dollars)."""
+        hours = base.hours
+        meets = deadline_hours is None or hours <= deadline_hours
+        return SpotCandidate(
+            base=base,
+            tier=ONDEMAND,
+            dollars_per_gpu_hour=base.dollars_per_gpu_hour,
+            expected_hours=hours,
+            mc_mean_hours=hours,
+            p50_hours=hours,
+            p95_hours=hours,
+            expected_preemptions=0.0,
+            completion_probability=1.0 if meets else 0.0,
+        )
+
+    def plan_spot(
+        self,
+        spot: str = "both",
+        confidence: float = DEFAULT_CONFIDENCE,
+        deadline_hours: Optional[float] = None,
+        budget_dollars: Optional[float] = None,
+        **sweep_kwargs,
+    ) -> SpotPlan:
+        """Sweep the cluster space once, then price every candidate on the
+        requested tiers and rank the risk view.
+
+        ``spot`` selects the tiers: ``"both"`` (default), ``"only"``
+        (spot tier alone), or ``"off"`` (the on-demand tier wrapped in
+        the risk view — useful as a baseline with identical shape).
+        ``sweep_kwargs`` are the inherited :meth:`ClusterPlanner.plan`
+        axis arguments (``gpus``, ``providers``, ``num_gpus``, ...).
+        """
+        if spot not in ("both", "only", "off"):
+            raise ValueError(f"spot must be 'both', 'only' or 'off', got {spot!r}")
+        if not 0.0 <= confidence <= 1.0:
+            raise ValueError(f"confidence must be in [0, 1], got {confidence}")
+        ondemand = super().plan(
+            deadline_hours=deadline_hours,
+            budget_dollars=budget_dollars,
+            **sweep_kwargs,
+        )
+        candidates: List[SpotCandidate] = []
+        excluded: List[str] = []
+        missing_spot = set()
+        for base in ondemand.candidates:
+            if spot != "only":
+                candidates.append(self._ondemand_candidate(base, deadline_hours))
+            if spot == "off":
+                continue
+            gpu_name = base.scenario.gpu_spec.name
+            if not self.catalog.has_spot(gpu_name, base.provider):
+                missing_spot.add(f"{base.provider} lists no spot tier for {gpu_name}")
+                continue
+            priced = self._spot_candidate(base, deadline_hours)
+            if isinstance(priced, str):
+                excluded.append(priced)
+            else:
+                candidates.append(priced)
+        excluded.extend(sorted(missing_spot))
+        candidates.sort(key=SpotCandidate.sort_key)
+        frontier = risk_pareto_frontier(candidates)
+        feasible = [
+            c for c in candidates
+            if c.meets(deadline_hours, budget_dollars, confidence)
+        ]
+        recommended = min(
+            feasible,
+            key=lambda c: (c.expected_dollars, c.p95_hours, c.label),
+            default=None,
+        )
+        fastest = min(
+            feasible,
+            key=lambda c: (c.p95_hours, c.expected_dollars, c.label),
+            default=None,
+        )
+        return SpotPlan(
+            ondemand=ondemand,
+            confidence=confidence,
+            spot_mode=spot,
+            candidates=candidates,
+            frontier=frontier,
+            recommended=recommended,
+            fastest=fastest,
+            excluded=excluded,
+        )

@@ -1,0 +1,228 @@
+"""Preemption-aware makespan: closed form and Monte Carlo.
+
+The job needs ``work_hours`` of useful compute. Under a checkpoint
+policy with interval ``tau``, write cost ``c`` and restart overhead
+``R``, the run is a sequence of *segments*: full segments of length
+``tau + c`` (work plus the checkpoint write) and a final segment with no
+write. A preemption (exponential, rate ``lam`` per hour while running)
+loses the current segment's progress and costs ``R`` before the segment
+restarts.
+
+**Closed form.** A segment of length ``s`` succeeds per attempt with
+probability ``e^{-lam s}``; summing the geometric attempts and the
+truncated-exponential failure times collapses to
+
+    E[T_segment] = (1/lam + R) * (e^{lam s} - 1)
+
+whose ``lam -> 0`` limit is ``s``, and the expected makespan is the sum
+over segments. Expected preemptions per segment are ``e^{lam s} - 1``.
+This is the classical Daly-style checkpoint/restart expectation, kept
+exact per segment rather than first-order.
+
+**Zero hazard.** When ``lam == 0`` checkpointing buys nothing, so a
+rational policy writes no checkpoints at all: both estimators return
+``work_hours`` exactly, which is what makes zero-preemption spot
+planning reproduce the on-demand plan bit-for-bit.
+
+**Monte Carlo.** :class:`SpotSimulator` samples the identical segment
+process with a seeded ``random.Random``, so runs are deterministic for a
+given seed and independent of sweep parallelism. It exists to validate
+the closed form (mean/p50) and to provide what the closed form cannot:
+percentiles (p50/p95) and completion probabilities for
+"finish-by-deadline with 95% confidence" planning. Degenerate inputs
+(hazard so high a segment almost never completes) are cut off at
+``max_makespan_hours`` and reported as ``inf`` — the serialization layer
+maps those to ``null`` in ``--json`` output.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .checkpoint import CheckpointPolicy
+
+DEFAULT_TRIALS = 512
+
+# Trials that exceed this are abandoned as non-terminating (expected
+# when e^{lam * s} is astronomically large) and recorded as inf.
+DEFAULT_MAX_MAKESPAN_HOURS = 1e6
+
+# Second non-termination guard: a segment whose per-attempt success
+# probability is ~e^{-lam s} needs ~e^{lam s} attempts; past this many
+# the trial is abandoned as inf rather than looped to the time cap.
+MAX_ATTEMPTS_PER_SEGMENT = 10_000
+
+
+def segment_lengths(work_hours: float, policy: CheckpointPolicy) -> List[float]:
+    """The run's segment lengths, checkpoint writes included.
+
+    Full segments are ``tau + c``; the final segment omits the write
+    (there is nothing left to protect). An interval longer than the job
+    degenerates to a single write-free segment of the whole job — the
+    policy quietly stops mattering, it does not fail.
+    """
+    if work_hours < 0:
+        raise ValueError(f"work_hours must be >= 0, got {work_hours}")
+    if work_hours == 0:
+        return []
+    if not math.isfinite(work_hours):
+        return [work_hours]
+    tau = policy.interval_hours
+    n_full = int(work_hours // tau)
+    remainder = work_hours - n_full * tau
+    if remainder < tau * 1e-9 and n_full > 0:
+        # Work divides evenly; the last full interval is the final segment.
+        n_full -= 1
+        remainder = tau
+    return [tau + policy.write_hours] * n_full + [remainder]
+
+
+def _expm1_or_inf(x: float) -> float:
+    """``e^x - 1``, saturating to inf instead of raising OverflowError —
+    a hazard so high that a segment essentially never completes is a
+    legal input whose makespan is "never", not a crash."""
+    try:
+        return math.expm1(x)
+    except OverflowError:
+        return math.inf
+
+
+def expected_makespan_hours(
+    work_hours: float, rate_per_hour: float, policy: CheckpointPolicy
+) -> float:
+    """Closed-form expected wall-clock hours to finish ``work_hours``."""
+    if rate_per_hour < 0:
+        raise ValueError(f"rate_per_hour must be >= 0, got {rate_per_hour}")
+    if rate_per_hour == 0:
+        return work_hours  # no hazard -> no checkpoints, on-demand makespan
+    factor = 1.0 / rate_per_hour + policy.restart_hours
+    return sum(
+        factor * _expm1_or_inf(rate_per_hour * s)
+        for s in segment_lengths(work_hours, policy)
+    )
+
+
+def expected_preemptions(
+    work_hours: float, rate_per_hour: float, policy: CheckpointPolicy
+) -> float:
+    """Closed-form expected preemption count over the whole run."""
+    if rate_per_hour < 0:
+        raise ValueError(f"rate_per_hour must be >= 0, got {rate_per_hour}")
+    if rate_per_hour == 0:
+        return 0.0
+    return sum(
+        _expm1_or_inf(rate_per_hour * s) for s in segment_lengths(work_hours, policy)
+    )
+
+
+@dataclass(frozen=True)
+class MakespanDistribution:
+    """Monte Carlo makespan samples (sorted) with summary accessors."""
+
+    samples: Tuple[float, ...]  # ascending
+    mean_preemptions: float
+
+    def __post_init__(self) -> None:
+        if not self.samples:
+            raise ValueError("MakespanDistribution needs at least one sample")
+
+    @property
+    def trials(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean_hours(self) -> float:
+        return sum(self.samples) / len(self.samples)
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile, ``q`` in (0, 1]."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"q must be in (0, 1], got {q}")
+        rank = max(1, math.ceil(q * len(self.samples)))
+        return self.samples[rank - 1]
+
+    @property
+    def p50_hours(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p95_hours(self) -> float:
+        return self.percentile(0.95)
+
+    def completion_probability(self, deadline_hours: Optional[float]) -> float:
+        """Fraction of trials finishing within the deadline (1.0 when
+        there is no deadline — every run "finishes in time")."""
+        if deadline_hours is None:
+            return 1.0
+        return sum(1 for s in self.samples if s <= deadline_hours) / len(self.samples)
+
+
+class SpotSimulator:
+    """Seeded Monte Carlo over the segment process.
+
+    Deterministic: the same ``(seed, trials, inputs)`` always produces
+    the same distribution, and simulation happens in plan post-processing
+    (never inside the parallel trace sweep), so ``--jobs`` cannot change
+    a plan.
+    """
+
+    def __init__(
+        self,
+        trials: int = DEFAULT_TRIALS,
+        seed: int = 0,
+        max_makespan_hours: float = DEFAULT_MAX_MAKESPAN_HOURS,
+    ) -> None:
+        if trials < 1:
+            raise ValueError(f"trials must be >= 1, got {trials}")
+        self.trials = trials
+        self.seed = seed
+        self.max_makespan_hours = max_makespan_hours
+
+    def simulate(
+        self,
+        work_hours: float,
+        rate_per_hour: float,
+        policy: CheckpointPolicy,
+        seed: Optional[int] = None,
+    ) -> MakespanDistribution:
+        """Sample ``trials`` makespans; ``seed`` overrides the default."""
+        if rate_per_hour < 0:
+            raise ValueError(f"rate_per_hour must be >= 0, got {rate_per_hour}")
+        if rate_per_hour == 0:
+            # Matches the closed form: no hazard, no checkpoints.
+            return MakespanDistribution(
+                samples=(work_hours,) * self.trials, mean_preemptions=0.0
+            )
+        segments = segment_lengths(work_hours, policy)
+        rng = random.Random(self.seed if seed is None else seed)
+        restart = policy.restart_hours
+        samples: List[float] = []
+        total_preemptions = 0
+        for _ in range(self.trials):
+            elapsed = 0.0
+            for s in segments:
+                attempts = 0
+                while True:
+                    attempts += 1
+                    to_preemption = rng.expovariate(rate_per_hour)
+                    if to_preemption >= s:
+                        elapsed += s
+                        break
+                    elapsed += to_preemption + restart
+                    total_preemptions += 1
+                    if (
+                        elapsed > self.max_makespan_hours
+                        or attempts >= MAX_ATTEMPTS_PER_SEGMENT
+                    ):
+                        elapsed = math.inf
+                        break
+                if math.isinf(elapsed):
+                    break
+            samples.append(elapsed)
+        return MakespanDistribution(
+            samples=tuple(sorted(samples)),
+            mean_preemptions=total_preemptions / self.trials,
+        )

@@ -1,0 +1,91 @@
+"""Spot scenarios: the checkpoint-cadence extension of the cluster space.
+
+A :class:`SpotScenario` adds the ``checkpoint_minutes`` axis to
+:class:`~repro.cluster.scenario.ClusterScenario`. Like the cluster axes,
+the checkpoint cadence does not affect the per-device step trace — it is
+pure post-processing over the replica trace — so the inherited
+:meth:`~repro.scenarios.scenario.Scenario.key` excludes it and every
+cadence shares the cached replica trace. Sweeping checkpoint intervals
+therefore adds **zero** new simulations; spot-level identity for derived
+results lives in :meth:`SpotScenario.spot_key`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple, Union
+
+from ..gpu.multigpu import Interconnect
+from ..gpu.specs import GPUSpec
+from ..scenarios import ScenarioGrid, freeze_overrides
+from ..scenarios.scenario import ModelConfig
+from ..cluster.scenario import ClusterScenario
+from .checkpoint import DEFAULT_INTERVAL_MINUTES
+
+
+@dataclass(frozen=True)
+class SpotScenario(ClusterScenario):
+    """One hashable point of the (cluster scenario x checkpoint cadence)
+    space."""
+
+    checkpoint_minutes: float = DEFAULT_INTERVAL_MINUTES
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.checkpoint_minutes > 0:  # also rejects NaN
+            raise ValueError(
+                f"checkpoint_minutes must be positive, got {self.checkpoint_minutes}"
+            )
+
+    def spot_key(self) -> Tuple:
+        """Spot-level identity: the cluster key plus the cadence axis."""
+        return self.cluster_key() + (self.checkpoint_minutes,)
+
+    def label(self, include_gpu: bool = False, include_seq_len: bool = False) -> str:
+        base = super().label(include_gpu=include_gpu, include_seq_len=include_seq_len)
+        return f"{base}_ck{self.checkpoint_minutes:g}m"
+
+    def qualified_label(self) -> str:
+        return f"{super().qualified_label()}_ck{self.checkpoint_minutes:g}m"
+
+
+def spot_product(
+    models: Sequence[Union[str, ModelConfig]],
+    gpus: Sequence[Union[str, GPUSpec]],
+    batch_sizes: Sequence[int] = (1,),
+    datasets: Sequence[Optional[str]] = (None,),
+    seq_lens: Sequence[Optional[int]] = (None,),
+    dense: Sequence[bool] = (False,),
+    num_gpus: Sequence[int] = (1,),
+    interconnects: Sequence[Union[str, Interconnect]] = ("nvlink",),
+    checkpoint_minutes: Sequence[float] = (DEFAULT_INTERVAL_MINUTES,),
+    overrides=(),
+) -> ScenarioGrid:
+    """Cartesian product over the spot space, mirroring
+    :func:`~repro.cluster.scenario.cluster_product` with the cadence axis
+    innermost — every cadence of one cluster point is consecutive and all
+    of them share the point's single replica simulation."""
+    frozen = freeze_overrides(overrides)
+    return ScenarioGrid(
+        SpotScenario(
+            model=model,
+            gpu=gpu,
+            batch_size=batch,
+            seq_len=seq_len,
+            dense=is_dense,
+            dataset=dataset,
+            overrides=frozen,
+            num_gpus=n,
+            interconnect=link,
+            checkpoint_minutes=minutes,
+        )
+        for model in models
+        for dataset in datasets
+        for seq_len in seq_lens
+        for is_dense in dense
+        for batch in batch_sizes
+        for gpu in gpus
+        for n in num_gpus
+        for link in interconnects
+        for minutes in checkpoint_minutes
+    )

@@ -47,11 +47,11 @@ class TestResultContainers:
 
 
 class TestRegistry:
-    def test_all_eighteen_artifacts_registered(self):
-        # 17 paper artifacts plus the cluster-planning extension.
-        assert len(ALL_EXPERIMENTS) == 18
+    def test_all_nineteen_artifacts_registered(self):
+        # 17 paper artifacts plus the cluster-planning and spot-risk extensions.
+        assert len(ALL_EXPERIMENTS) == 19
         assert {"table1", "table2", "table3", "table4", "fig3", "fig11", "seqlen",
-                "cluster"} <= set(ALL_EXPERIMENTS)
+                "cluster", "spot"} <= set(ALL_EXPERIMENTS)
 
 
 class TestTable1:
