@@ -1,0 +1,116 @@
+"""Trace-store benchmark: cold vs disk-warm passes, plus the plan CLI
+acceptance bar.
+
+Three measurements against one disk store:
+
+1. **cold sweep** — fig8 grid through a fresh cache + empty store: every
+   point simulates and the store is populated;
+2. **disk-warm sweep** — a fresh cache (a new process's state) over the
+   same store, serial and process-pool: must simulate *nothing*;
+3. **plan run** — ``ClusterPlanner`` cold then warm against the store:
+   the warm plan performs zero simulations and is byte-identical.
+
+Writes ``BENCH_trace_store.json`` at the repo root so the perf
+trajectory has a tracked data point.
+
+Run standalone:  PYTHONPATH=src python benchmarks/bench_trace_store.py
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro.cluster import ClusterPlanner
+from repro.scenarios import DiskTraceStore, SimulationCache, SweepRunner, preset
+from repro.serialization import dumps
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_trace_store.json"
+
+
+def _stats_dict(cache: SimulationCache) -> dict:
+    stats = cache.stats()
+    return {"hits": stats.hits, "disk_hits": stats.disk_hits,
+            "misses": stats.misses, "entries": stats.entries,
+            "simulations": stats.simulations}
+
+
+def _plan_payload(store: DiskTraceStore) -> tuple:
+    cache = SimulationCache(store=store)
+    planner = ClusterPlanner("mixtral-8x7b", dataset="math14k", cache=cache)
+    start = time.perf_counter()
+    plan = planner.plan(gpus=("A40", "H100-80GB"), providers=("cudo",),
+                        densities=(False,), deadline_hours=24.0)
+    seconds = time.perf_counter() - start
+    return dumps(plan.to_payload(), indent=2), seconds, _stats_dict(cache)
+
+
+def measure() -> dict:
+    grid = preset("fig8")
+    with tempfile.TemporaryDirectory() as tmp:
+        store = DiskTraceStore(tmp)
+
+        cold_cache = SimulationCache(store=store)
+        start = time.perf_counter()
+        SweepRunner(cache=cold_cache).run(grid)
+        cold_seconds = time.perf_counter() - start
+
+        warm_cache = SimulationCache(store=store)  # fresh-process stand-in
+        start = time.perf_counter()
+        SweepRunner(cache=warm_cache).run(grid)
+        warm_seconds = time.perf_counter() - start
+
+        process_cache = SimulationCache(store=store)
+        start = time.perf_counter()
+        SweepRunner(cache=process_cache, jobs=2, executor="process").run(grid)
+        process_seconds = time.perf_counter() - start
+
+        plan_store = DiskTraceStore(Path(tmp) / "plan")
+        cold_plan, cold_plan_seconds, cold_plan_stats = _plan_payload(plan_store)
+        warm_plan, warm_plan_seconds, warm_plan_stats = _plan_payload(plan_store)
+
+    payload = {
+        "benchmark": "trace_store_fig8_plus_cluster_plan",
+        "grid_points": len(grid),
+        "cold_seconds": cold_seconds,
+        "disk_warm_seconds": warm_seconds,
+        "disk_warm_process_seconds": process_seconds,
+        "speedup": cold_seconds / warm_seconds if warm_seconds > 0 else float("inf"),
+        "cold_cache": _stats_dict(cold_cache),
+        "disk_warm_cache": _stats_dict(warm_cache),
+        "disk_warm_process_cache": _stats_dict(process_cache),
+        "plan_cold_seconds": cold_plan_seconds,
+        "plan_warm_seconds": warm_plan_seconds,
+        "plan_cold_cache": cold_plan_stats,
+        "plan_warm_cache": warm_plan_stats,
+        "plan_identical": warm_plan == cold_plan,
+    }
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def test_trace_store_cold_vs_disk_warm():
+    payload = measure()
+    print(f"\ncold {payload['cold_seconds']:.3f}s, disk-warm "
+          f"{payload['disk_warm_seconds']:.3f}s, speedup "
+          f"{payload['speedup']:.1f}x -> {ARTIFACT.name}")
+    # The cold pass simulated every grid point and populated the store...
+    assert payload["cold_cache"]["simulations"] == payload["grid_points"]
+    # ...and the acceptance bar: a disk-warm pass (fresh cache, same
+    # store) simulates NOTHING, serially or through the process pool.
+    assert payload["disk_warm_cache"]["simulations"] == 0
+    assert payload["disk_warm_cache"]["disk_hits"] == payload["grid_points"]
+    assert payload["disk_warm_process_cache"]["simulations"] == 0
+    # The warm plan run is simulation-free and byte-identical to cold.
+    assert payload["plan_cold_cache"]["simulations"] > 0
+    assert payload["plan_warm_cache"]["simulations"] == 0
+    assert payload["plan_identical"] is True
+    # Reading traces back must beat re-simulating them (the nominal
+    # ratio is ~4x; the bar is low to tolerate noisy CI disks).
+    assert payload["speedup"] >= 1.5, payload
+
+
+if __name__ == "__main__":
+    print(json.dumps(measure(), indent=2))

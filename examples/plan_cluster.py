@@ -8,14 +8,20 @@ Table IV workload (Mixtral sparse on MATH-14k x 10 epochs) three ways:
    faster necessarily costs more;
 2. a deadline-driven plan — the cheapest cluster that finishes overnight;
 3. the interconnect tax — what PCIe costs a full-fine-tune workload that
-   a QLoRA workload never pays.
+   a QLoRA workload never pays;
+4. a persistent trace store — the second plan *process* starts warm and
+   simulates nothing (the library form of the CLIs' ``--cache-dir`` /
+   ``$REPRO_CACHE_DIR`` flag, e.g.
+   ``python -m repro.cluster.plan --model mixtral --cache-dir ~/.cache/repro-traces``).
 
 Run:  python examples/plan_cluster.py
 """
 
+import tempfile
+
 from repro.cluster import ClusterPlanner
 from repro.gpu import A40, H100, NVLINK, PCIE_GEN4
-from repro.scenarios import default_cache
+from repro.scenarios import DiskTraceStore, SimulationCache, default_cache
 
 
 def pareto_frontier() -> None:
@@ -61,10 +67,31 @@ def interconnect_tax() -> None:
     print("  -> Takeaway: adapter-only sync makes QLoRA interconnect-insensitive\n")
 
 
+def warm_start_from_disk() -> None:
+    print("=== Persistent trace store: plans that start warm ===")
+    with tempfile.TemporaryDirectory() as cache_dir:
+        # First process: cold — simulates, and populates the store.
+        cold_cache = SimulationCache(store=DiskTraceStore(cache_dir))
+        ClusterPlanner("mixtral-8x7b", dataset="math14k", cache=cold_cache).plan(
+            providers=("cudo",), densities=(False,)
+        )
+        print(f"  cold plan:  {cold_cache.stats().simulations} simulations")
+        # Second process (fresh cache, same dir): warm from disk alone.
+        warm_cache = SimulationCache(store=DiskTraceStore(cache_dir))
+        ClusterPlanner("mixtral-8x7b", dataset="math14k", cache=warm_cache).plan(
+            providers=("cudo",), densities=(False,)
+        )
+        stats = warm_cache.stats()
+        print(f"  warm plan:  {stats.simulations} simulations "
+              f"({stats.disk_hits} traces loaded from disk)")
+    print("  -> point --cache-dir (or $REPRO_CACHE_DIR) at a real directory\n")
+
+
 if __name__ == "__main__":
     pareto_frontier()
     overnight_deadline()
     interconnect_tax()
+    warm_start_from_disk()
     stats = default_cache().stats()
     print(f"(scenario cache: {stats.hits} hits / {stats.misses} misses — "
           f"every cluster size reused its replica's trace)")

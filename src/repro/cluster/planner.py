@@ -240,6 +240,7 @@ class ClusterPlanner:
         catalog: Optional[PriceCatalog] = None,
         cache: Optional[SimulationCache] = None,
         jobs: int = 1,
+        executor: str = "thread",
     ) -> None:
         self.cfg = get_model_spec(model).config if isinstance(model, str) else model
         self.dataset = dataset
@@ -261,6 +262,7 @@ class ClusterPlanner:
         self.catalog = catalog if catalog is not None else DEFAULT_CATALOG
         self.cache = resolve_cache(cache)
         self.jobs = jobs
+        self.executor = executor
 
     # ------------------------------------------------------------------
     def _resolve_gpus(
@@ -369,7 +371,8 @@ class ClusterPlanner:
             densities=densities,
             batch_sizes=batch_sizes,
         )
-        points = SweepRunner(cache=self.cache, jobs=self.jobs).run(grid)
+        runner = SweepRunner(cache=self.cache, jobs=self.jobs, executor=self.executor)
+        points = runner.run(grid)
         candidates: List[ClusterCandidate] = []
         for point in points:
             scenario = point.scenario

@@ -77,6 +77,7 @@ class FineTuningCostModel:
         catalog: Optional[PriceCatalog] = None,
         cache: Optional[SimulationCache] = None,
         jobs: int = 1,
+        executor: str = "thread",
     ) -> None:
         self.cfg = cfg
         self.seq_len = seq_len
@@ -84,6 +85,7 @@ class FineTuningCostModel:
         self.catalog = catalog if catalog is not None else DEFAULT_CATALOG
         self.cache = resolve_cache(cache)
         self.jobs = jobs
+        self.executor = executor
 
     @classmethod
     def for_dataset(
@@ -94,6 +96,7 @@ class FineTuningCostModel:
         catalog: Optional[PriceCatalog] = None,
         cache: Optional[SimulationCache] = None,
         jobs: int = 1,
+        executor: str = "thread",
     ) -> "FineTuningCostModel":
         """Build a cost model using the dataset's padded sequence length."""
         if dataset_key not in EFFECTIVE_SEQ_LEN:
@@ -105,6 +108,7 @@ class FineTuningCostModel:
             catalog=catalog,
             cache=cache,
             jobs=jobs,
+            executor=executor,
         )
 
     # ------------------------------------------------------------------
@@ -115,10 +119,12 @@ class FineTuningCostModel:
         instances."""
         def fit() -> ThroughputModel:
             dense_obs = collect_throughput_observations(
-                self.cfg, gpu, self.seq_len, dense=True, cache=self.cache, jobs=self.jobs
+                self.cfg, gpu, self.seq_len, dense=True, cache=self.cache,
+                jobs=self.jobs, executor=self.executor,
             )
             sparse_obs = collect_throughput_observations(
-                self.cfg, gpu, self.seq_len, dense=False, cache=self.cache, jobs=self.jobs
+                self.cfg, gpu, self.seq_len, dense=False, cache=self.cache,
+                jobs=self.jobs, executor=self.executor,
             )
             observations = dense_obs + sparse_obs
             if len(observations) < 3:

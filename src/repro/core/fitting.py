@@ -74,6 +74,7 @@ def collect_throughput_observations(
     simulator: Optional[GPUSimulator] = None,
     cache: Optional[SimulationCache] = None,
     jobs: int = 1,
+    executor: str = "thread",
 ) -> List[ThroughputObservation]:
     """Sweep batch sizes through the scenario engine, as the paper sweeps
     hardware.
@@ -101,4 +102,5 @@ def collect_throughput_observations(
             )
             for s in grid
         ]
-    return observations_from_sweep(SweepRunner(cache=cache, jobs=jobs).run(grid))
+    runner = SweepRunner(cache=cache, jobs=jobs, executor=executor)
+    return observations_from_sweep(runner.run(grid))

@@ -21,10 +21,12 @@ DEADLINE_HOURS = 24.0
 EPOCHS = 10
 
 
-def run(jobs: int = 1, cache: SimulationCache | None = None) -> ExperimentResult:
+def run(jobs: int = 1, cache: SimulationCache | None = None,
+        executor: str = "thread") -> ExperimentResult:
     result = ExperimentResult("cluster", "Cluster plan: Mixtral sparse, MATH-14k (Pareto)")
     planner = ClusterPlanner(
-        "mixtral-8x7b", dataset="math14k", epochs=EPOCHS, cache=cache, jobs=jobs
+        "mixtral-8x7b", dataset="math14k", epochs=EPOCHS, cache=cache, jobs=jobs,
+        executor=executor,
     )
     plan = planner.plan(
         gpus=(A40, H100),

@@ -27,16 +27,19 @@ def run(
     form: str = "exponent",
     jobs: int = 1,
     cache: SimulationCache | None = None,
+    executor: str = "thread",
 ) -> ExperimentResult:
     result = ExperimentResult("fig14", f"Eq. 2 throughput fit on {gpu.name}")
     for cfg in (MIXTRAL_8X7B, BLACKMAMBA_2_8B):
         for dataset in ("commonsense15k", "math14k"):
             seq_len = EFFECTIVE_SEQ_LEN[dataset]
             dense = collect_throughput_observations(
-                cfg, gpu, seq_len, dense=True, cache=cache, jobs=jobs
+                cfg, gpu, seq_len, dense=True, cache=cache, jobs=jobs,
+                executor=executor,
             )
             sparse = collect_throughput_observations(
-                cfg, gpu, seq_len, dense=False, cache=cache, jobs=jobs
+                cfg, gpu, seq_len, dense=False, cache=cache, jobs=jobs,
+                executor=executor,
             )
             model, rmse = fit_dense_sparse(dense, sparse, form=form)
             key = f"{cfg.family}_{dataset}"

@@ -63,9 +63,10 @@ def grid(gpu=A40) -> ScenarioGrid:
 register_preset("fig8", grid, overwrite=True)  # idempotent across reloads
 
 
-def run(gpu=A40, jobs: int = 1, cache: SimulationCache | None = None) -> ExperimentResult:
+def run(gpu=A40, jobs: int = 1, cache: SimulationCache | None = None,
+        executor: str = "thread") -> ExperimentResult:
     result = ExperimentResult("fig8", "Fine-tuning throughput (queries/second)")
-    runner = SweepRunner(cache=cache, jobs=jobs)
+    runner = SweepRunner(cache=cache, jobs=jobs, executor=executor)
     for point in runner.run(grid(gpu)):
         result.add(point.label, point.queries_per_second, PAPER.get(point.label))
     # Headline claims as explicit rows.

@@ -6,12 +6,18 @@ Usage::
     python -m repro.experiments.report             # fast artifacts only
     python -m repro.experiments.report --training  # include Fig. 3 / Fig. 11
     python -m repro.experiments.report --jobs 4    # parallel sweeps
+    python -m repro.experiments.report --jobs 4 --executor process
+    python -m repro.experiments.report --cache-dir ~/.cache/repro-traces
     python -m repro.experiments.report --json      # machine-readable output
 
 The text output mirrors EXPERIMENTS.md: one table per artifact with
 measured values next to the paper's published numbers. All simulation
 flows through the shared scenario cache, so a second report pass in the
-same process performs zero redundant ``simulate_step`` calls.
+same process performs zero redundant ``simulate_step`` calls — and with
+``--cache-dir`` (or ``$REPRO_CACHE_DIR``) the cache gains a disk tier,
+so a second report *process* starts warm too. ``--executor process``
+fans the sweeps over a process pool whose workers share that store; the
+report is byte-identical at any job count and executor.
 """
 
 from __future__ import annotations
@@ -20,7 +26,7 @@ import argparse
 import inspect
 from typing import Any, Dict, List
 
-from ..scenarios import default_cache
+from ..scenarios import default_cache, resolve_store
 from ..serialization import dumps, json_value as _json_value
 from . import ALL_EXPERIMENTS
 from .common import ExperimentResult
@@ -38,22 +44,35 @@ def _run_module(module, **kwargs) -> ExperimentResult:
 
 
 def collect_results(
-    include_training: bool = False, scale: str = "smoke", jobs: int = 1
+    include_training: bool = False,
+    scale: str = "smoke",
+    jobs: int = 1,
+    executor: str = "thread",
 ) -> Dict[str, ExperimentResult]:
     """Execute the suite; training artifacts only when requested."""
     results: Dict[str, ExperimentResult] = {}
     for key, module in ALL_EXPERIMENTS.items():
         if key in TRAINING_EXPERIMENTS and not include_training:
             continue
-        results[key] = _run_module(module, scale=scale, jobs=jobs)
+        results[key] = _run_module(module, scale=scale, jobs=jobs, executor=executor)
     return results
 
 
 def report_payload(
-    include_training: bool = False, scale: str = "smoke", jobs: int = 1
+    include_training: bool = False,
+    scale: str = "smoke",
+    jobs: int = 1,
+    executor: str = "thread",
 ) -> Dict[str, Any]:
-    """The report as a JSON-serializable structure (``--json``)."""
-    results = collect_results(include_training=include_training, scale=scale, jobs=jobs)
+    """The report as a JSON-serializable structure (``--json``).
+
+    Everything in the payload is independent of ``jobs`` and
+    ``executor`` (cache telemetry included — process-pool sweeps replay
+    their accounting in grid order), so the JSON report is byte-identical
+    at any parallelism setting.
+    """
+    results = collect_results(include_training=include_training, scale=scale,
+                              jobs=jobs, executor=executor)
     experiments = []
     for key, result in results.items():
         experiments.append(
@@ -76,14 +95,20 @@ def report_payload(
     return {
         "experiments": experiments,
         "skipped": [k for k in TRAINING_EXPERIMENTS if k not in results],
-        "jobs": jobs,
-        "cache": {"hits": stats.hits, "misses": stats.misses, "entries": stats.entries},
+        "cache": {"hits": stats.hits, "misses": stats.misses,
+                  "disk_hits": stats.disk_hits, "entries": stats.entries},
     }
 
 
-def run_report(include_training: bool = False, scale: str = "smoke", jobs: int = 1) -> str:
+def run_report(
+    include_training: bool = False,
+    scale: str = "smoke",
+    jobs: int = 1,
+    executor: str = "thread",
+) -> str:
     """Execute experiments and return the combined report text."""
-    results = collect_results(include_training=include_training, scale=scale, jobs=jobs)
+    results = collect_results(include_training=include_training, scale=scale,
+                              jobs=jobs, executor=executor)
     sections: List[str] = []
     for key in ALL_EXPERIMENTS:
         if key not in results:
@@ -97,8 +122,9 @@ def run_report(include_training: bool = False, scale: str = "smoke", jobs: int =
             sections.append(f"   -> {matched}/{compared} paper-comparable rows within 50%")
     stats = default_cache().stats()
     sections.append(
-        f"== scenario cache: {stats.hits} hits / {stats.misses} misses "
-        f"({stats.entries} traces) =="
+        f"== scenario cache: {stats.hits} hits / {stats.disk_hits} disk hits / "
+        f"{stats.misses} misses ({stats.entries} traces, "
+        f"{stats.simulations} simulations) =="
     )
     return "\n\n".join(sections)
 
@@ -110,18 +136,29 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument("--scale", default="smoke", choices=("smoke", "bench", "full"),
                         help="size preset for the training experiments")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
-                        help="worker threads for the scenario sweeps (default 1; "
-                             "thread-based, so wall-clock gains are GIL-limited "
-                             "until a process-pool executor lands)")
+                        help="sweep workers (default 1); with --executor thread "
+                             "gains are GIL-limited, with --executor process the "
+                             "sweeps use real cores")
+    parser.add_argument("--executor", choices=("thread", "process"), default="thread",
+                        help="sweep executor for --jobs > 1 (default: thread); "
+                             "process workers share the --cache-dir store")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="disk-backed trace store; report runs start warm from "
+                             "it and warm it for the next run (default: "
+                             "$REPRO_CACHE_DIR if set, else no persistence)")
     parser.add_argument("--json", action="store_true", dest="as_json",
                         help="emit the report as JSON instead of tables")
     args = parser.parse_args(argv)
+    # Attach the disk tier to the process-global cache so every consumer
+    # (including experiments that don't take a cache argument) inherits it.
+    default_cache().attach_store(resolve_store(args.cache_dir))
     if args.as_json:
         payload = report_payload(include_training=args.training, scale=args.scale,
-                                 jobs=args.jobs)
+                                 jobs=args.jobs, executor=args.executor)
         print(dumps(payload, indent=2))
     else:
-        print(run_report(include_training=args.training, scale=args.scale, jobs=args.jobs))
+        print(run_report(include_training=args.training, scale=args.scale,
+                         jobs=args.jobs, executor=args.executor))
     return 0
 
 

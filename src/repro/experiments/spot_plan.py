@@ -23,13 +23,14 @@ EPOCHS = 10
 TRIALS = 256  # enough for stable p50/p95 at report speed
 
 
-def run(jobs: int = 1, cache: SimulationCache | None = None) -> ExperimentResult:
+def run(jobs: int = 1, cache: SimulationCache | None = None,
+        executor: str = "thread") -> ExperimentResult:
     result = ExperimentResult(
         "spot", "Spot risk plan: Mixtral sparse, MATH-14k (risk-adjusted Pareto)"
     )
     planner = RiskAdjustedPlanner(
         "mixtral-8x7b", dataset="math14k", epochs=EPOCHS, cache=cache, jobs=jobs,
-        trials=TRIALS,
+        executor=executor, trials=TRIALS,
     )
     plan = planner.plan_spot(
         gpus=(A40, H100),

@@ -9,13 +9,19 @@ sweep a first-class object:
 * :class:`ScenarioGrid` — declarative enumeration (cartesian products,
   batch sweeps, filters, named presets);
 * :class:`SimulationCache` — memoized ``simulate_step`` traces keyed by
-  scenario, with hit/miss accounting;
+  scenario, with hit/miss accounting, optionally tiered onto a
+  :class:`DiskTraceStore` so warmth survives the process;
+* :class:`DiskTraceStore` — persistent traces keyed by
+  :meth:`Scenario.digest` (sha256 of the canonical scenario text), with
+  versioned entries, atomic writes and corruption tolerance;
 * :class:`SweepRunner` — deterministic (optionally parallel) grid
-  execution feeding experiment results.
+  execution feeding experiment results; ``executor="process"`` fans
+  grids out over a process pool whose workers warm the shared store.
 
 Every experiment, the Eq. 2 fitting helpers and the cost model run their
 sweeps through this engine, so one process simulates each distinct point
-exactly once no matter how many consumers ask for it.
+exactly once no matter how many consumers ask for it — and with a cache
+dir attached, across processes too.
 """
 
 from .cache import (
@@ -27,15 +33,19 @@ from .cache import (
 )
 from .grid import ScenarioGrid, preset, preset_names, register_preset
 from .runner import SweepPoint, SweepRunner
-from .scenario import Scenario, freeze_overrides
+from .scenario import Scenario, canonical_value, freeze_overrides
+from .store import ENV_CACHE_DIR, DiskTraceStore, resolve_store
 
 __all__ = [
     "CacheStats",
+    "DiskTraceStore",
+    "ENV_CACHE_DIR",
     "Scenario",
     "ScenarioGrid",
     "SimulationCache",
     "SweepPoint",
     "SweepRunner",
+    "canonical_value",
     "default_cache",
     "freeze_overrides",
     "preset",
@@ -43,4 +53,5 @@ __all__ = [
     "register_preset",
     "reset_default_cache",
     "resolve_cache",
+    "resolve_store",
 ]

@@ -13,6 +13,14 @@ A process-global default cache backs every consumer that is not handed an
 explicit one, so independent experiments executed in one process share
 traces. Traces are pure functions of the scenario, so cross-consumer
 reuse is always sound.
+
+The cache is tiered: memory first, then (when a
+:class:`~repro.scenarios.store.DiskTraceStore` is attached) disk, then
+the simulator — so a process pointed at a warm store starts warm instead
+of cold. ``stats()`` separates the tiers: ``hits`` (memory, plus derived
+results), ``disk_hits``, ``misses``, and ``simulations`` — the ground
+truth "how many times did ``simulate_step`` actually run", which is what
+the zero-redundant-simulation acceptance criteria assert against.
 """
 
 from __future__ import annotations
@@ -25,6 +33,13 @@ from ..gpu.simulator import GPUSimulator, SoftwareOverhead
 from ..gpu.specs import GPUSpec
 from ..gpu.trace import StepTrace
 from .scenario import ModelConfig, Scenario, freeze_overrides
+from .store import DiskTraceStore
+
+# Provenance of a fetched trace (also reported by process-pool workers so
+# the parent can replay the lookup accounting deterministically).
+MEMORY = "memory"
+DISK = "disk"
+SIMULATED = "simulated"
 
 
 @dataclass(frozen=True)
@@ -34,14 +49,16 @@ class CacheStats:
     hits: int
     misses: int
     entries: int
+    disk_hits: int = 0
+    simulations: int = 0
 
     @property
     def lookups(self) -> int:
-        return self.hits + self.misses
+        return self.hits + self.disk_hits + self.misses
 
     @property
     def hit_rate(self) -> float:
-        return self.hits / self.lookups if self.lookups else 0.0
+        return (self.hits + self.disk_hits) / self.lookups if self.lookups else 0.0
 
 
 class SimulationCache:
@@ -57,15 +74,32 @@ class SimulationCache:
     so all their variants share one memoized replica trace here.
     """
 
-    def __init__(self, overheads: Optional[Dict[str, SoftwareOverhead]] = None) -> None:
+    def __init__(
+        self,
+        overheads: Optional[Dict[str, SoftwareOverhead]] = None,
+        store: Optional[DiskTraceStore] = None,
+    ) -> None:
         self._overheads = overheads
+        self.store = store
         self._simulators: Dict[GPUSpec, GPUSimulator] = {}
         self._traces: Dict[Tuple, StepTrace] = {}
         self._derived: Dict[Tuple, object] = {}
-        self._inflight: Dict[Tuple, threading.Event] = {}
+        # Trace keys and derived keys live in disjoint in-flight maps: a
+        # derived key that happened to equal a trace key must not make one
+        # computation wait on (or mask) the other.
+        self._inflight_traces: Dict[Tuple, threading.Event] = {}
+        self._inflight_derived: Dict[Tuple, threading.Event] = {}
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+        self._disk_hits = 0
+        self._simulations = 0
+
+    def attach_store(self, store: Optional[DiskTraceStore]) -> None:
+        """Attach (or with ``None`` detach) the disk tier. Used by the
+        CLIs to bolt ``--cache-dir`` onto the process-global default
+        cache so every consumer inherits persistence."""
+        self.store = store
 
     # ------------------------------------------------------------------
     def simulator(self, gpu: GPUSpec) -> GPUSimulator:
@@ -78,9 +112,17 @@ class SimulationCache:
             return sim
 
     def simulate(self, scenario: Scenario) -> StepTrace:
-        """The step trace for one scenario, simulating at most once.
+        """The step trace for one scenario, simulating at most once."""
+        return self.fetch(scenario)[0]
 
-        Concurrent misses on the same key collapse: one thread simulates
+    def fetch(self, scenario: Scenario) -> Tuple[StepTrace, str]:
+        """The step trace plus its provenance: ``MEMORY``, ``DISK`` or
+        ``SIMULATED``.
+
+        Tiers resolve in that order; a disk hit is promoted into memory
+        and a simulated trace is written back to the store (when one is
+        attached), so both warm every later consumer. Concurrent misses
+        on the same key collapse: one thread resolves the tail tiers
         while the others wait on the in-flight marker, so duplicate
         points in a parallel sweep never run ``simulate_step`` twice.
         """
@@ -90,15 +132,25 @@ class SimulationCache:
                 trace = self._traces.get(key)
                 if trace is not None:
                     self._hits += 1
-                    return trace
-                event = self._inflight.get(key)
+                    return trace, MEMORY
+                event = self._inflight_traces.get(key)
                 if event is None:
                     event = threading.Event()
-                    self._inflight[key] = event
-                    self._misses += 1
-                    break  # this thread computes
+                    self._inflight_traces[key] = event
+                    break  # this thread resolves disk/simulate
             event.wait()  # another thread is computing; re-read after it
         try:
+            store = self.store
+            if store is not None:
+                trace = store.get(scenario)
+                if trace is not None:
+                    with self._lock:
+                        self._disk_hits += 1
+                        self._traces[key] = trace
+                    return trace, DISK
+            with self._lock:
+                self._misses += 1
+                self._simulations += 1
             sim = self.simulator(scenario.gpu_spec)
             trace = sim.simulate_step(
                 scenario.config,
@@ -109,12 +161,44 @@ class SimulationCache:
             )
             with self._lock:
                 self._traces[key] = trace
-            return trace
+            if store is not None:
+                # Persistence is best-effort, mirroring the store's read
+                # contract: a full or read-only cache volume degrades the
+                # run to unpersisted, it does not crash a sweep whose
+                # simulation already succeeded.
+                try:
+                    store.put(scenario, trace)
+                except OSError:
+                    pass
+            return trace, SIMULATED
         finally:
             # On failure waiters loop, find no trace, and one retries.
             with self._lock:
-                self._inflight.pop(key, None)
+                self._inflight_traces.pop(key, None)
             event.set()
+
+    def adopt(self, scenario: Scenario, trace: StepTrace, source: str) -> StepTrace:
+        """Install a trace resolved by a process-pool worker, replaying
+        the accounting of the tier the worker hit (``source``): a key
+        already in memory counts a hit (and keeps the resident trace, for
+        identity stability); otherwise the worker's disk hit or
+        simulation is counted here exactly as a local lookup would have
+        been — which is what keeps ``--executor process`` reports
+        byte-identical to serial runs, cache telemetry included."""
+        key = scenario.key()
+        with self._lock:
+            existing = self._traces.get(key)
+            if existing is not None:
+                self._hits += 1
+                return existing
+            self._traces[key] = trace
+            if source == DISK:
+                self._disk_hits += 1
+            else:
+                self._misses += 1
+                if source == SIMULATED:
+                    self._simulations += 1
+            return trace
 
     def trace(
         self,
@@ -144,15 +228,19 @@ class SimulationCache:
         """Memoize a derived result (e.g. an Eq. 2 fit) that is a pure
         function of cached traces. ``key`` must be hashable and include
         everything the computation depends on. Concurrent misses collapse
-        the same way :meth:`simulate` misses do."""
+        the same way :meth:`simulate` misses do, and the traffic counts
+        in :meth:`stats` hits/misses — derived results are lookups too,
+        so benchmarks see their cost instead of reading fits as free."""
         while True:
             with self._lock:
                 if key in self._derived:
+                    self._hits += 1
                     return self._derived[key]
-                event = self._inflight.get(key)
+                event = self._inflight_derived.get(key)
                 if event is None:
                     event = threading.Event()
-                    self._inflight[key] = event
+                    self._inflight_derived[key] = event
+                    self._misses += 1
                     break  # this thread computes
             event.wait()
         try:
@@ -162,23 +250,32 @@ class SimulationCache:
             return value
         finally:
             with self._lock:
-                self._inflight.pop(key, None)
+                self._inflight_derived.pop(key, None)
             event.set()
 
     # ------------------------------------------------------------------
     def stats(self) -> CacheStats:
         with self._lock:
-            return CacheStats(hits=self._hits, misses=self._misses, entries=len(self._traces))
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                entries=len(self._traces),
+                disk_hits=self._disk_hits,
+                simulations=self._simulations,
+            )
 
     def clear(self) -> None:
         """Drop all cached traces/simulators/derived results and reset
-        the counters."""
+        the counters. The attached disk store (if any) is left intact —
+        persistence outliving process state is its whole point."""
         with self._lock:
             self._traces.clear()
             self._simulators.clear()
             self._derived.clear()
             self._hits = 0
             self._misses = 0
+            self._disk_hits = 0
+            self._simulations = 0
 
     def __len__(self) -> int:
         with self._lock:

@@ -166,13 +166,23 @@ def preset(name: str) -> ScenarioGrid:
         # Experiment modules and the cluster/spot subsystems register
         # their grids at import time; pull them in on first miss so the
         # advertised presets ("fig8", "table3", "cluster-scaling",
-        # "spot-scaling") resolve without a manual import.
+        # "spot-scaling") resolve without a manual import. Each subsystem
+        # imports independently: one broken subsystem must not make the
+        # others' presets unreachable, so failures are only surfaced (as
+        # context on the KeyError) if the requested preset stays missing.
         import importlib
 
+        errors = []
         for module in ("repro.experiments", "repro.cluster", "repro.spot"):
-            importlib.import_module(module)
+            try:
+                importlib.import_module(module)
+            except Exception as exc:
+                errors.append(f"{module}: {exc}")
         if name not in _PRESETS:
-            raise KeyError(f"unknown preset {name!r}; available: {preset_names()}")
+            detail = f" (import failures: {'; '.join(errors)})" if errors else ""
+            raise KeyError(
+                f"unknown preset {name!r}; available: {preset_names()}{detail}"
+            )
     return _PRESETS[name]()
 
 

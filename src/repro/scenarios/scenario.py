@@ -21,6 +21,8 @@ cache shares one replica trace across all such variants.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 from dataclasses import dataclass, replace
 from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
@@ -32,6 +34,24 @@ from ..models.registry import get_model_spec
 
 ModelConfig = Union[MixtralConfig, BlackMambaConfig]
 OverrideItems = Tuple[Tuple[str, Any], ...]
+
+
+def canonical_value(value: Any) -> str:
+    """Deterministic, process-stable rendering of a cache-key component.
+
+    Dataclasses render as ``ClassName(field=...)`` with fields in sorted
+    name order (so reordering a config definition cannot silently change
+    every digest), sequences render element-wise, and scalars use
+    ``repr`` — which for floats is the shortest round-trip form, stable
+    across interpreter runs and platforms with IEEE doubles.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = sorted(f.name for f in dataclasses.fields(value))
+        inner = ",".join(f"{name}={canonical_value(getattr(value, name))}" for name in fields)
+        return f"{type(value).__name__}({inner})"
+    if isinstance(value, (tuple, list)):
+        return "(" + ",".join(canonical_value(item) for item in value) + ")"
+    return repr(value)
 
 
 def freeze_overrides(overrides: Union[Mapping[str, Any], OverrideItems]) -> OverrideItems:
@@ -118,6 +138,36 @@ class Scenario:
             self.dense,
             self.overrides,
         )
+
+    def canonical_text(self) -> str:
+        """Process-stable canonical rendering of :meth:`key`.
+
+        :meth:`key` tuples are hashable but ``hash()`` is salted per
+        interpreter run, so they cannot name disk entries. This text is a
+        deterministic rendering of the *resolved* key — equal keys always
+        produce equal text, across processes and runs — and is what
+        :meth:`digest` (and therefore the
+        :class:`~repro.scenarios.store.DiskTraceStore` layout) is built
+        on. Subclasses that inherit :meth:`key` (cluster/spot scenarios)
+        inherit the canonical text too, so they share disk entries the
+        same way they share in-memory traces.
+        """
+        config, gpu, batch_size, seq_len, dense, overrides = self.key()
+        return ";".join(
+            (
+                f"model={canonical_value(config)}",
+                f"gpu={canonical_value(gpu)}",
+                f"batch={batch_size}",
+                f"seq={seq_len}",
+                f"dense={dense}",
+                f"overrides={canonical_value(overrides)}",
+            )
+        )
+
+    def digest(self) -> str:
+        """sha256 hex digest of :meth:`canonical_text` — the scenario's
+        cross-process identity, used to key disk-store entries."""
+        return hashlib.sha256(self.canonical_text().encode("utf-8")).hexdigest()
 
     def label(self, include_gpu: bool = False, include_seq_len: bool = False) -> str:
         """Row label in the experiment suite's convention, e.g.

@@ -7,8 +7,10 @@ Usage::
     python -m repro.spot.plan --model blackmamba --spot only --budget 50 --jobs 4
 
 Mirrors ``python -m repro.cluster.plan`` (same model/GPU resolution, same
-``--json``/``--jobs`` contract — output is byte-identical at any job
-count, Monte Carlo seeds included) and adds the risk knobs: ``--spot``
+``--json``/``--jobs``/``--executor``/``--cache-dir`` contract — output is
+byte-identical at any job count and executor, Monte Carlo seeds included,
+and a pre-populated trace store makes the plan simulate nothing) and adds
+the risk knobs: ``--spot``
 selects the tiers, ``--mtbp-hours`` overrides every provider's mean time
 between preemptions, ``--checkpoint-minutes`` offers checkpoint cadences
 (each spot candidate adopts the best one), and ``--confidence`` sets the
@@ -24,8 +26,10 @@ from ..cluster.plan import (
     _parse_densities,
     _parse_num_gpus,
     _parse_positive_csv,
+    add_engine_arguments,
     resolve_gpu_name,
     resolve_model_key,
+    resolve_plan_cache,
 )
 from ..gpu.multigpu import INTERCONNECTS
 from ..serialization import dumps
@@ -91,9 +95,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help=f"Monte Carlo trials per spot candidate (default: {DEFAULT_TRIALS})")
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
                         help="base Monte Carlo seed (per-candidate seeds derive from it)")
-    parser.add_argument("--jobs", type=int, default=1, metavar="N",
-                        help="worker threads for the trace sweep (plan output is "
-                             "identical at any job count)")
+    add_engine_arguments(parser)
     parser.add_argument("--top", type=int, default=10,
                         help="frontier rows in the text table (default: 10)")
     parser.add_argument("--json", action="store_true", dest="as_json",
@@ -123,7 +125,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         epochs=args.epochs,
         num_queries=args.num_queries,
         seq_len=args.seq_len,
+        cache=resolve_plan_cache(args.cache_dir),
         jobs=args.jobs,
+        executor=args.executor,
         mtbp_hours=args.mtbp_hours,
         checkpoint_minutes=checkpoint_minutes,
         trials=args.trials,

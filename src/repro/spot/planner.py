@@ -316,6 +316,7 @@ class RiskAdjustedPlanner(ClusterPlanner):
         catalog: Optional[PriceCatalog] = None,
         cache: Optional[SimulationCache] = None,
         jobs: int = 1,
+        executor: str = "thread",
         markets: Optional[Mapping[str, SpotMarket]] = None,
         mtbp_hours: Optional[float] = None,
         checkpoint_minutes: Sequence[float] = (DEFAULT_INTERVAL_MINUTES,),
@@ -333,6 +334,7 @@ class RiskAdjustedPlanner(ClusterPlanner):
             catalog=catalog,
             cache=cache,
             jobs=jobs,
+            executor=executor,
         )
         self.markets = dict(markets) if markets is not None else {}
         self.mtbp_hours = mtbp_hours

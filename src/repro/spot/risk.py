@@ -73,7 +73,16 @@ def segment_lengths(work_hours: float, policy: CheckpointPolicy) -> List[float]:
     tau = policy.interval_hours
     n_full = int(work_hours // tau)
     remainder = work_hours - n_full * tau
-    if remainder < tau * 1e-9 and n_full > 0:
+    # Even-division tolerance must scale with the *job*, not the interval:
+    # remainder inherits the absolute float error of work_hours (~eps *
+    # work_hours per operation that built it), so a long job with many
+    # intervals can carry a residue far above tau * 1e-9 that is still
+    # pure rounding noise. Treating it as a real segment would append a
+    # near-zero final segment and inflate expected preemptions. Since this
+    # branch requires n_full >= 1 (work_hours >= tau), the relative bound
+    # subsumes the old tau-relative one: nothing previously treated as
+    # even division changes.
+    if remainder < work_hours * 1e-9 and n_full > 0:
         # Work divides evenly; the last full interval is the final segment.
         n_full -= 1
         remainder = tau
@@ -120,10 +129,19 @@ def expected_preemptions(
 
 @dataclass(frozen=True)
 class MakespanDistribution:
-    """Monte Carlo makespan samples (sorted) with summary accessors."""
+    """Monte Carlo makespan samples (sorted) with summary accessors.
+
+    ``mean_preemptions`` averages over *completed* trials only: an
+    abandoned (``inf``) trial records whatever preemptions it saw before
+    the cutoff, which is an artifact of the cutoff rather than a
+    statistic of the run — folding those in would bias the reported mean
+    toward the guard thresholds. Abandoned trials are reported separately
+    via ``abandoned_trials``.
+    """
 
     samples: Tuple[float, ...]  # ascending
     mean_preemptions: float
+    abandoned_trials: int = 0
 
     def __post_init__(self) -> None:
         if not self.samples:
@@ -132,6 +150,10 @@ class MakespanDistribution:
     @property
     def trials(self) -> int:
         return len(self.samples)
+
+    @property
+    def completed_trials(self) -> int:
+        return len(self.samples) - self.abandoned_trials
 
     @property
     def mean_hours(self) -> float:
@@ -200,9 +222,11 @@ class SpotSimulator:
         rng = random.Random(self.seed if seed is None else seed)
         restart = policy.restart_hours
         samples: List[float] = []
-        total_preemptions = 0
+        completed_preemptions = 0
+        abandoned = 0
         for _ in range(self.trials):
             elapsed = 0.0
+            trial_preemptions = 0
             for s in segments:
                 attempts = 0
                 while True:
@@ -212,7 +236,7 @@ class SpotSimulator:
                         elapsed += s
                         break
                     elapsed += to_preemption + restart
-                    total_preemptions += 1
+                    trial_preemptions += 1
                     if (
                         elapsed > self.max_makespan_hours
                         or attempts >= MAX_ATTEMPTS_PER_SEGMENT
@@ -221,8 +245,19 @@ class SpotSimulator:
                         break
                 if math.isinf(elapsed):
                     break
+            if math.isinf(elapsed):
+                # Abandoned: the preemptions seen before the cutoff are a
+                # property of the guard, not the workload — keep them out
+                # of the completed-trial statistic.
+                abandoned += 1
+            else:
+                completed_preemptions += trial_preemptions
             samples.append(elapsed)
+        completed = self.trials - abandoned
         return MakespanDistribution(
             samples=tuple(sorted(samples)),
-            mean_preemptions=total_preemptions / self.trials,
+            mean_preemptions=(
+                completed_preemptions / completed if completed else 0.0
+            ),
+            abandoned_trials=abandoned,
         )

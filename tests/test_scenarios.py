@@ -160,6 +160,34 @@ class TestScenarioGrid:
         # package in on first miss.
         assert len(preset("cluster-scaling")) == 16
 
+    def test_preset_import_failure_does_not_mask_other_subsystems(self, monkeypatch):
+        """Regression: the lazy import loop used to abort on the first
+        failing subsystem, making every *other* subsystem's presets
+        unreachable too. Each subsystem now imports independently, and
+        the original failure only surfaces if the preset stays missing."""
+        import importlib
+
+        from repro.scenarios import grid as grid_mod
+
+        registered = {}
+        monkeypatch.setattr(grid_mod, "_PRESETS", registered)
+
+        def fake_import(name, *args, **kwargs):
+            if name == "repro.experiments":
+                raise ImportError("experiments subsystem is broken")
+            if name == "repro.cluster":
+                registered["cluster-sentinel"] = lambda: ScenarioGrid()
+            return None
+
+        monkeypatch.setattr(importlib, "import_module", fake_import)
+        # The cluster presets resolve despite the experiments failure...
+        assert len(grid_mod.preset("cluster-sentinel")) == 0
+        # ...and a genuinely missing preset raises KeyError carrying the
+        # import failure as context, not the ImportError itself.
+        with pytest.raises(KeyError) as excinfo:
+            grid_mod.preset("definitely-missing")
+        assert "experiments subsystem is broken" in str(excinfo.value)
+
 
 class TestSimulationCache:
     def test_resolve_cache(self):
@@ -196,6 +224,48 @@ class TestSimulationCache:
         direct = GPUSimulator(A40).simulate_step(BLACKMAMBA_2_8B, 2, 64, dense=True)
         assert cached.total_seconds == direct.total_seconds
         assert cached.queries_per_second == direct.queries_per_second
+
+    def test_memoize_counts_in_the_stats(self):
+        """Regression: derived-result traffic used to bypass the hit/miss
+        counters entirely, so Eq. 2 fits looked free in benchmarks."""
+        cache = SimulationCache()
+        assert cache.memoize(("fit", 1), lambda: "a") == "a"
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (0, 1)
+        assert cache.memoize(("fit", 1), lambda: "recomputed") == "a"
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+        # ...but a derived miss is not a simulation.
+        assert stats.simulations == 0
+
+    def test_derived_and_trace_inflight_namespaces_are_disjoint(self):
+        """Regression: memoize() and simulate() shared one in-flight map,
+        so a derived computation keyed by a scenario key (or a colliding
+        tuple) would stall — or race the event teardown of — the trace
+        path. A simulate must not wait on a slow memoize of the same key."""
+        import threading
+
+        cache = SimulationCache()
+        s = Scenario(model=BLACKMAMBA_2_8B, gpu=A40, batch_size=1, seq_len=64)
+        started, release = threading.Event(), threading.Event()
+
+        def slow_fit():
+            started.set()
+            # Held open until the main thread releases it, so the
+            # assertion is about ordering, not machine speed.
+            assert release.wait(timeout=30.0)
+            return "fit"
+
+        worker = threading.Thread(target=lambda: cache.memoize(s.key(), slow_fit))
+        worker.start()
+        assert started.wait(timeout=5.0)
+        # With a shared in-flight map this would deadlock until the
+        # memoize completed; disjoint namespaces let it proceed.
+        cache.simulate(s)
+        assert cache.stats().simulations == 1
+        release.set()
+        worker.join()
+        assert cache.memoize(s.key(), lambda: "recomputed") == "fit"
 
     def test_memoize_collapses_concurrent_computes(self):
         import threading

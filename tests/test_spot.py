@@ -223,6 +223,40 @@ class TestHazardClosedForm:
         with pytest.raises(ValueError):
             segment_lengths(-1.0, policy())
 
+    def test_even_division_tolerance_scales_with_the_job(self):
+        """Regression: a long job whose work_hours accumulated float
+        drift used to fail the absolute ``tau * 1e-9`` even-division test
+        and emit a spurious near-zero final segment, inflating expected
+        preemptions by one extra segment term."""
+        p = policy(minutes=7.0, write_s=0.0)
+        tau = p.interval_hours
+        n = 500_000
+        work = 0.0
+        for _ in range(n):  # drift: work != n * tau exactly
+            work += tau
+        residue = work - int(work // tau) * tau
+        # The scenario is real only while the drift exceeds the old
+        # absolute tolerance (guards the constants against bit-rot).
+        assert residue > tau * 1e-9
+        lengths = segment_lengths(work, p)
+        assert len(lengths) == n
+        assert lengths[-1] == pytest.approx(tau)
+        assert min(lengths) > tau * 0.5  # no near-zero segment anywhere
+        # And the preemption expectation matches the clean-division job.
+        rate = 0.05
+        assert expected_preemptions(work, rate, p) == pytest.approx(
+            n * math.expm1(rate * tau), rel=1e-6
+        )
+
+    def test_genuine_small_remainders_are_still_segments(self):
+        # The relative tolerance must not swallow real (if small) tails:
+        # 1% of an interval is work, not float noise.
+        p = policy(minutes=30.0, write_s=0.0)
+        tau = p.interval_hours
+        lengths = segment_lengths(10 * tau + tau * 0.01, p)
+        assert len(lengths) == 11
+        assert lengths[-1] == pytest.approx(tau * 0.01)
+
 
 class TestSpotSimulator:
     def test_zero_rate_is_a_point_mass_at_the_work(self):
@@ -264,6 +298,35 @@ class TestSpotSimulator:
         dist = SpotSimulator(trials=8, seed=5).simulate(100.0, 5.0, p)
         assert math.isinf(dist.p95_hours)
         assert dist.completion_probability(1e9) < 1.0
+
+    def test_abandoned_trials_excluded_from_mean_preemptions(self):
+        """Regression: preemptions racked up by abandoned (inf) trials —
+        an artifact of the non-termination guards, growing with the
+        attempt cap — used to be folded into ``mean_preemptions``."""
+        p = policy(minutes=600.0, restart_s=0.0)
+        # Hazard so high every trial blows through the guard: each
+        # abandoned trial has seen thousands of preemptions by cutoff.
+        dist = SpotSimulator(trials=16, seed=5).simulate(100.0, 50.0, p)
+        assert dist.abandoned_trials == dist.trials
+        assert dist.completed_trials == 0
+        assert set(dist.samples) == {math.inf}
+        assert dist.mean_preemptions == 0.0  # guard noise, not statistics
+
+    def test_mixed_abandonment_counts_only_completed_trials(self):
+        # A hazard where some seeds finish and some hit the time cap: the
+        # mean must stay finite and consistent with the completed share.
+        p = policy(minutes=600.0, restart_s=0.0)
+        sim = SpotSimulator(trials=64, seed=5, max_makespan_hours=3000.0)
+        dist = sim.simulate(100.0, 0.5, p)
+        finite = [s for s in dist.samples if math.isfinite(s)]
+        assert dist.completed_trials == len(finite)
+        assert 0 < dist.abandoned_trials < dist.trials
+        assert math.isfinite(dist.mean_preemptions)
+        # Abandoned trials saw >= cap-many restarts; had they leaked into
+        # the mean it would exceed the cap-free expectation by orders of
+        # magnitude. Completed 100h trials at rate 0.5 average a few
+        # thousand preemptions — bound it loosely from both sides.
+        assert 100.0 < dist.mean_preemptions < 10_000.0
 
     def test_distribution_accessors(self):
         dist = SpotSimulator(trials=100, seed=9).simulate(10.0, 0.3, policy())
