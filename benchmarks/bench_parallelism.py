@@ -1,0 +1,104 @@
+"""Parallelism-strategy benchmark: TP prices what DP skips, for free.
+
+Runs the strategy layer's headline cell — dense Mixtral at the HellaSwag
+padded length on the A40, which fits no single device — through the
+planner three ways and writes ``BENCH_parallelism.json`` at the repo
+root. Three properties are asserted:
+
+* the pure data-parallel planner *skips* the cell (the pre-strategy
+  behavior), while ``parallelism="auto"`` prices it at the
+  tensor-parallel degrees that shard it into fitting;
+* the cold auto plan simulates exactly one sharded per-device trace per
+  fitting TP degree — cluster sizes, interconnects and accumulation
+  depths all share it;
+* a warm strategy sweep over a fixed TP degree (different cluster
+  sizes, interconnects and grad-accum depths) performs **zero**
+  additional simulations.
+
+Run standalone:  PYTHONPATH=src python benchmarks/bench_parallelism.py
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.cluster import ClusterPlanner
+from repro.scenarios import SimulationCache
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_parallelism.json"
+
+CELL = dict(gpus=("A40",), providers=("cudo",), densities=(True,))
+
+
+def measure() -> dict:
+    cache = SimulationCache()
+    planner = ClusterPlanner("mixtral-8x7b", dataset="hellaswag", cache=cache)
+
+    # 1. The pre-strategy view: pure DP cannot fit the cell at all.
+    dp_plan = planner.plan(parallelism="dp", **CELL)
+
+    # 2. Cold auto plan: TP degrees shard the cell into fitting.
+    start = time.perf_counter()
+    cold_plan = planner.plan(parallelism="auto", **CELL)
+    cold_seconds = time.perf_counter() - start
+    cold_stats = cache.stats()
+    degrees = sorted({c.scenario.tensor_parallel for c in cold_plan.candidates})
+
+    # 3. Warm sweep at a fixed TP degree: new cluster sizes, both
+    # interconnects and three accumulation depths — all post-processing
+    # over the already-cached sharded traces.
+    start = time.perf_counter()
+    warm_plan = planner.plan(
+        parallelism="tp", max_tp=max(degrees), grad_accums=(1, 2, 4), **CELL
+    )
+    warm_seconds = time.perf_counter() - start
+    warm_stats = cache.stats()
+
+    payload = {
+        "benchmark": "parallelism_strategy_sweep",
+        "cell": "mixtral-8x7b dense, hellaswag (seq 280), A40",
+        "dp_candidates": len(dp_plan.candidates),
+        "dp_skipped": list(dp_plan.skipped),
+        "auto_candidates": len(cold_plan.candidates),
+        "auto_skipped": list(cold_plan.skipped),
+        "tp_degrees_priced": degrees,
+        "auto_cheapest": cold_plan.cheapest.label if cold_plan.cheapest else None,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "cold_simulations": cold_stats.simulations,
+        "warm_simulations": warm_stats.simulations,
+        "warm_added_simulations": warm_stats.simulations - cold_stats.simulations,
+        "warm_candidates": len(warm_plan.candidates),
+        # Candidates priced per sharded trace actually simulated.
+        "cold_reuse_factor": (
+            len(cold_plan.candidates) / cold_stats.simulations
+            if cold_stats.simulations else float("inf")
+        ),
+    }
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def test_parallelism_strategy_sweep():
+    payload = measure()
+    print(f"\ndp skips, auto prices {payload['auto_candidates']} candidates at "
+          f"TP degrees {payload['tp_degrees_priced']}; warm strategy sweep added "
+          f"{payload['warm_added_simulations']} simulations -> {ARTIFACT.name}")
+    # The pre-strategy planner skips the cell; auto prices it.
+    assert payload["dp_candidates"] == 0
+    assert payload["dp_skipped"]
+    assert payload["auto_candidates"] > 0
+    assert payload["auto_skipped"] == []
+    assert all(degree >= 2 for degree in payload["tp_degrees_priced"])
+    # One sharded trace per fitting TP degree on the cold pass...
+    assert payload["cold_simulations"] == len(payload["tp_degrees_priced"])
+    # ...and the warm strategy sweep (sizes x links x grad-accum depths
+    # at fixed degrees) performs zero additional simulations.
+    assert payload["warm_added_simulations"] == 0
+    assert payload["warm_candidates"] > 0
+
+
+if __name__ == "__main__":
+    print(json.dumps(measure(), indent=2))

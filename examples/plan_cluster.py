@@ -9,7 +9,12 @@ Table IV workload (Mixtral sparse on MATH-14k x 10 epochs) three ways:
 2. a deadline-driven plan — the cheapest cluster that finishes overnight;
 3. the interconnect tax — what PCIe costs a full-fine-tune workload that
    a QLoRA workload never pays;
-4. a persistent trace store — the second plan *process* starts warm and
+4. the tensor-parallel rescue — a cell that fits no single device
+   (dense Mixtral at the HellaSwag padded length) is skipped by the pure
+   data-parallel sweep and *priced* by ``parallelism="auto"``, which
+   shards it across a TP group (the library form of
+   ``python -m repro.cluster.plan --parallelism auto --max-tp 8``);
+5. a persistent trace store — the second plan *process* starts warm and
    simulates nothing (the library form of the CLIs' ``--cache-dir`` /
    ``$REPRO_CACHE_DIR`` flag, e.g.
    ``python -m repro.cluster.plan --model mixtral --cache-dir ~/.cache/repro-traces``).
@@ -67,6 +72,25 @@ def interconnect_tax() -> None:
     print("  -> Takeaway: adapter-only sync makes QLoRA interconnect-insensitive\n")
 
 
+def tensor_parallel_rescue() -> None:
+    print("=== Tensor parallelism prices what data parallelism must skip ===")
+    planner = ClusterPlanner("mixtral-8x7b", dataset="hellaswag")
+    cell = dict(gpus=(A40,), providers=("cudo",), densities=(True,))
+    dp = planner.plan(parallelism="dp", **cell)
+    print(f"  dp:   {len(dp.candidates)} candidates — {dp.skipped[0]}")
+    auto = planner.plan(parallelism="auto", **cell, grad_accums=(1, 4))
+    assert auto.cheapest is not None
+    best = auto.cheapest
+    print(f"  auto: {len(auto.candidates)} candidates; cheapest {best.label}")
+    print(
+        f"        tp{best.scenario.tensor_parallel} x "
+        f"dp{best.scenario.strategy_spec.data_parallel_ways(best.scenario.num_gpus)}"
+        f" shards the weights into fitting -> "
+        f"{best.hours:.2f} h for ${best.dollars:.2f}"
+    )
+    print("  -> unfittable cells are now planner candidates, not skip reasons\n")
+
+
 def warm_start_from_disk() -> None:
     print("=== Persistent trace store: plans that start warm ===")
     with tempfile.TemporaryDirectory() as cache_dir:
@@ -91,6 +115,7 @@ if __name__ == "__main__":
     pareto_frontier()
     overnight_deadline()
     interconnect_tax()
+    tensor_parallel_rescue()
     warm_start_from_disk()
     stats = default_cache().stats()
     print(f"(scenario cache: {stats.hits} hits / {stats.misses} misses — "

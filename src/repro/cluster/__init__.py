@@ -25,7 +25,9 @@ from .planner import (
     ClusterPlan,
     ClusterPlanner,
     DEFAULT_INTERCONNECTS,
+    DEFAULT_MAX_TP,
     DEFAULT_NUM_GPUS,
+    PARALLELISM_MODES,
     pareto_frontier,
 )
 from .scenario import ClusterScenario, cluster_product
@@ -36,7 +38,9 @@ __all__ = [
     "ClusterPlanner",
     "ClusterScenario",
     "DEFAULT_INTERCONNECTS",
+    "DEFAULT_MAX_TP",
     "DEFAULT_NUM_GPUS",
+    "PARALLELISM_MODES",
     "cluster_product",
     "pareto_frontier",
 ]
@@ -59,5 +63,28 @@ def _cluster_scaling_grid() -> ScenarioGrid:
     )
 
 
+def _tensor_parallel_scaling_grid() -> ScenarioGrid:
+    """The strategy layer's headline sweep: dense Mixtral at the
+    HellaSwag padded length on the A40 — a cell pure data parallelism
+    cannot fit at all — across the tensor-parallel degrees that shard it
+    into fitting, both interconnects, pure TP and hybrid TP x DP. Every
+    cluster size at one degree shares that degree's sharded trace, so
+    the grid simulates one trace per TP degree."""
+    from ..memory.estimator import EFFECTIVE_SEQ_LEN
+    from ..models.config import MIXTRAL_8X7B
+
+    return cluster_product(
+        models=(MIXTRAL_8X7B,),
+        gpus=("A40",),
+        batch_sizes=(1,),
+        seq_lens=(EFFECTIVE_SEQ_LEN["hellaswag"],),
+        dense=(True,),
+        num_gpus=DEFAULT_NUM_GPUS,
+        interconnects=DEFAULT_INTERCONNECTS,
+        strategies=("tp2", "tp4", "tp8"),
+    )
+
+
 # Idempotent across reloads, like the experiment presets.
 register_preset("cluster-scaling", _cluster_scaling_grid, overwrite=True)
+register_preset("tensor-parallel-scaling", _tensor_parallel_scaling_grid, overwrite=True)

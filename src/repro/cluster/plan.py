@@ -5,6 +5,8 @@ Usage::
     python -m repro.cluster.plan --model mixtral --gpu a40 --deadline-hours 24 --json
     python -m repro.cluster.plan --model blackmamba --budget 50
     python -m repro.cluster.plan --model mixtral --dataset openorca --jobs 4
+    python -m repro.cluster.plan --model mixtral --density dense --gpu a40 \\
+        --parallelism auto --max-tp 8 --grad-accum 1,4
     python -m repro.cluster.plan --model mixtral --cache-dir ~/.cache/repro-traces \\
         --executor process --jobs 4
 
@@ -28,7 +30,13 @@ from ..gpu.specs import GPU_REGISTRY
 from ..models.registry import MODEL_REGISTRY
 from ..scenarios import SimulationCache, resolve_store
 from ..serialization import dumps
-from .planner import DEFAULT_INTERCONNECTS, DEFAULT_NUM_GPUS, ClusterPlanner
+from .planner import (
+    DEFAULT_INTERCONNECTS,
+    DEFAULT_MAX_TP,
+    DEFAULT_NUM_GPUS,
+    PARALLELISM_MODES,
+    ClusterPlanner,
+)
 
 # Family shorthands resolve to the paper-scale configs (never the tiny
 # training stand-ins, which share the family prefix).
@@ -95,6 +103,43 @@ def _parse_num_gpus(values: Optional[List[str]]) -> Sequence[int]:
     )
 
 
+def _parse_grad_accums(values: Optional[List[str]]) -> Sequence[int]:
+    if not values:
+        return (1,)
+    return _parse_positive_csv(
+        values, int,
+        "gradient-accumulation depths must be >= 1, got {}",
+        "--grad-accum given but no depths parsed",
+    )
+
+
+def validate_parallelism_args(args: argparse.Namespace) -> Sequence[int]:
+    """Validate the shared parallelism flags and return the parsed
+    gradient-accumulation depths (raises ``ValueError`` for
+    ``parser.error`` in the callers' ``main``)."""
+    if args.max_tp < 1:
+        raise ValueError(f"--max-tp must be >= 1, got {args.max_tp}")
+    if args.parallelism == "tp" and args.max_tp < 2:
+        raise ValueError("--parallelism tp needs --max-tp >= 2")
+    return _parse_grad_accums(args.grad_accum)
+
+
+def add_parallelism_arguments(parser: argparse.ArgumentParser) -> None:
+    """The parallelism-strategy knobs shared by the plan CLIs."""
+    parser.add_argument("--parallelism", choices=PARALLELISM_MODES, default="dp",
+                        help="layout axis: dp (full replicas, the classic sweep), "
+                             "tp (tensor-parallel only), auto (both; cells that "
+                             "fit no single device are priced at the TP degrees "
+                             "that shard them into fitting) (default: dp)")
+    parser.add_argument("--max-tp", type=int, default=DEFAULT_MAX_TP, metavar="N",
+                        help="largest tensor-parallel degree to enumerate "
+                             f"(powers of two; default: {DEFAULT_MAX_TP})")
+    parser.add_argument("--grad-accum", action="append", metavar="K[,K...]",
+                        help="gradient-accumulation depth(s) to sweep — trades "
+                             "per-device micro-batch for global batch at fixed "
+                             "memory (default: 1)")
+
+
 def _parse_densities(density: str) -> Sequence[bool]:
     return {"sparse": (False,), "dense": (True,), "both": (False, True)}[density]
 
@@ -143,6 +188,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="expert routing(s) to sweep (default: both)")
     parser.add_argument("--batch-size", action="append", type=int, metavar="B",
                         help="explicit per-GPU batch size(s); default: per-cell memory maximum")
+    add_parallelism_arguments(parser)
     parser.add_argument("--epochs", type=int, default=10)
     parser.add_argument("--num-queries", type=int, default=None,
                         help="override the dataset's query count")
@@ -167,6 +213,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         model_key = resolve_model_key(args.model)
         gpus = [resolve_gpu_name(g) for g in args.gpu] if args.gpu else None
         num_gpus = _parse_num_gpus(args.num_gpus)
+        grad_accums = validate_parallelism_args(args)
     except (KeyError, ValueError) as exc:
         parser.error(str(exc))
     planner = ClusterPlanner(
@@ -188,6 +235,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         batch_sizes=tuple(args.batch_size) if args.batch_size else None,
         deadline_hours=args.deadline_hours,
         budget_dollars=args.budget_dollars,
+        parallelism=args.parallelism,
+        max_tp=args.max_tp,
+        grad_accums=grad_accums,
     )
     if args.as_json:
         print(dumps(plan.to_payload(), indent=2))

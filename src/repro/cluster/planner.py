@@ -34,6 +34,12 @@ from ..gpu.multigpu import (
     estimate_from_trace,
     get_interconnect,
 )
+from ..gpu.parallelism import (
+    DataParallel,
+    ParallelismStrategy,
+    TensorParallel,
+    tp_degrees,
+)
 from ..gpu.specs import GPU_REGISTRY, GPUSpec, get_gpu
 from ..memory.estimator import EFFECTIVE_SEQ_LEN, max_batch_size
 from ..models.registry import get_model_spec
@@ -43,6 +49,28 @@ from .scenario import ClusterScenario
 
 DEFAULT_NUM_GPUS: Tuple[int, ...] = (1, 2, 4, 8)
 DEFAULT_INTERCONNECTS: Tuple[str, ...] = ("nvlink", "pcie-gen4")
+
+# --parallelism: how the planner lays candidates out on the hardware.
+# "dp" is the pre-strategy behavior (full replicas only), "tp" forces
+# tensor parallelism, "auto" enumerates both — including TP degrees for
+# cells pure data parallelism cannot fit at all.
+PARALLELISM_MODES: Tuple[str, ...] = ("dp", "tp", "auto")
+DEFAULT_MAX_TP = 8
+
+
+def strategy_payload(scenario: ClusterScenario) -> Dict[str, object]:
+    """The parallelism keys a candidate dict carries — empty for the
+    default data-parallel layout, so pre-strategy plan JSON stays
+    byte-identical. Shared by the cluster and spot candidate dicts."""
+    strategy = scenario.strategy_spec
+    if strategy.is_default:
+        return {}
+    return {
+        "parallelism": strategy.spec(),
+        "tensor_parallel": strategy.tensor_parallel,
+        "data_parallel": strategy.data_parallel_ways(scenario.num_gpus),
+        "grad_accum": strategy.grad_accum,
+    }
 
 
 @dataclass(frozen=True)
@@ -91,7 +119,7 @@ class ClusterCandidate:
 
     def to_dict(self) -> Dict[str, object]:
         scenario = self.scenario
-        return {
+        payload = {
             "label": self.label,
             "gpu": scenario.gpu_spec.name,
             "provider": self.provider,
@@ -107,6 +135,11 @@ class ClusterCandidate:
             "hours": self.hours,
             "dollars": self.dollars,
         }
+        extra = strategy_payload(scenario)
+        if extra:
+            extra["tp_comm_seconds"] = self.estimate.tp_comm_seconds
+            payload.update(extra)
+        return payload
 
 
 def dominance_sweep(candidates, sort_key, cost) -> List:
@@ -277,6 +310,23 @@ class ClusterPlanner:
         }
         return [GPU_REGISTRY[name] for name in sorted(priced) if name in GPU_REGISTRY]
 
+    def _strategy_degrees(self, parallelism: str, max_tp: int) -> Tuple[int, ...]:
+        """TP degrees a parallelism mode enumerates (1 = data parallel)."""
+        if parallelism not in PARALLELISM_MODES:
+            raise ValueError(
+                f"parallelism must be one of {PARALLELISM_MODES}, got {parallelism!r}"
+            )
+        if parallelism == "dp":
+            return (1,)
+        if parallelism == "tp":
+            degrees = tp_degrees(max_tp)
+            if not degrees:
+                raise ValueError(
+                    f"parallelism='tp' needs max_tp >= 2, got {max_tp}"
+                )
+            return degrees
+        return (1,) + tp_degrees(max_tp)
+
     def scenarios(
         self,
         gpus: Optional[Sequence[Union[str, GPUSpec]]] = None,
@@ -285,16 +335,29 @@ class ClusterPlanner:
         interconnects: Sequence[Union[str, Interconnect]] = DEFAULT_INTERCONNECTS,
         densities: Sequence[bool] = (False, True),
         batch_sizes: Optional[Sequence[int]] = None,
+        parallelism: str = "dp",
+        max_tp: int = DEFAULT_MAX_TP,
+        grad_accums: Sequence[int] = (1,),
     ) -> Tuple[ScenarioGrid, List[str]]:
         """The candidate grid plus human-readable skip reasons.
 
         ``batch_sizes=None`` uses the memory-oracle per-device maximum for
-        each (GPU, density) cell — the throughput-optimal choice; explicit
-        batch sizes are kept only where they fit. Cells where the model
-        does not fit at batch 1 are skipped, not failed.
+        each (GPU, density, TP degree) cell — the throughput-optimal
+        choice; explicit batch sizes are kept only where they fit.
+        ``parallelism`` selects the layout axis: ``"dp"`` reproduces the
+        pre-strategy sweep exactly; ``"tp"``/``"auto"`` also enumerate
+        tensor-parallel degrees (powers of two up to ``max_tp``), so a
+        cell where the model does not fit one device is *priced* at the
+        degrees that shard it into fitting — skip reasons are reserved
+        for cells no enumerated degree can fit. ``grad_accums`` adds the
+        accumulation axis; every depth shares its cell's per-device trace.
         """
         providers = list(providers) if providers is not None else self.catalog.providers()
         resolved_gpus = self._resolve_gpus(gpus, providers)
+        degrees = self._strategy_degrees(parallelism, max_tp)
+        accums = list(dict.fromkeys(grad_accums))
+        if not accums or any(a < 1 for a in accums):
+            raise ValueError(f"grad_accums must name depths >= 1, got {grad_accums!r}")
         # Duplicate axis values (e.g. --num-gpus 4,4, or "nvlink" next to
         # NVLINK) would duplicate every candidate; collapse them while
         # preserving order.
@@ -313,38 +376,82 @@ class ClusterPlanner:
                 )
                 continue
             for dense in densities:
-                mbs = max_batch_size(self.cfg, gpu, self.seq_len, dense)
-                if mbs < 1:
-                    skipped.append(
-                        f"{self.cfg.name} ({'dense' if dense else 'sparse'}) does not fit "
+                density = "dense" if dense else "sparse"
+                cell_count = len(scenarios)
+                fits_any = False  # some degree fits memory at batch 1
+                batches_any = False  # ...and had an admissible batch size
+                dp_mbs = 0
+                for degree in degrees:
+                    mbs = max_batch_size(
+                        self.cfg, gpu, self.seq_len, dense, tensor_parallel=degree
+                    )
+                    if mbs < 1:
+                        continue
+                    fits_any = True
+                    if degree == 1:
+                        dp_mbs = mbs
+                    if batch_sizes is None:
+                        batches: List[int] = [mbs]
+                    else:
+                        batches = [b for b in batch_sizes if 1 <= b <= mbs]
+                    if batches:
+                        batches_any = True
+                    for batch in batches:
+                        for accum in accums:
+                            strategy: ParallelismStrategy = (
+                                DataParallel(grad_accum=accum)
+                                if degree == 1
+                                else TensorParallel(grad_accum=accum, degree=degree)
+                            )
+                            for n in sizes:
+                                if not strategy.fits(n):
+                                    continue
+                                for link in links:
+                                    scenarios.append(
+                                        ClusterScenario(
+                                            model=self.cfg,
+                                            gpu=gpu,
+                                            batch_size=batch,
+                                            seq_len=self.seq_len,
+                                            dense=dense,
+                                            dataset=self.dataset,
+                                            num_gpus=n,
+                                            interconnect=link,
+                                            strategy=strategy,
+                                        )
+                                    )
+                if len(scenarios) > cell_count:
+                    continue  # the cell produced candidates; nothing to explain
+                if not fits_any:
+                    # Truly impossible cell: no enumerated layout fits.
+                    reason = (
+                        f"{self.cfg.name} ({density}) does not fit "
                         f"on {gpu.name} at seq_len={self.seq_len}"
                     )
-                    continue
-                if batch_sizes is None:
-                    batches: List[int] = [mbs]
-                else:
-                    batches = [b for b in batch_sizes if 1 <= b <= mbs]
-                    if not batches:
+                    if parallelism != "dp":
+                        reason += f" at any tensor-parallel degree <= {max_tp}"
+                    skipped.append(reason)
+                elif not batches_any:
+                    if parallelism == "dp":
                         skipped.append(
                             f"no requested batch size fits on {gpu.name} "
-                            f"({'dense' if dense else 'sparse'}, max {mbs})"
+                            f"({density}, max {dp_mbs})"
                         )
-                        continue
-                for batch in batches:
-                    for n in sizes:
-                        for link in links:
-                            scenarios.append(
-                                ClusterScenario(
-                                    model=self.cfg,
-                                    gpu=gpu,
-                                    batch_size=batch,
-                                    seq_len=self.seq_len,
-                                    dense=dense,
-                                    dataset=self.dataset,
-                                    num_gpus=n,
-                                    interconnect=link,
-                                )
-                            )
+                    else:
+                        skipped.append(
+                            f"no requested batch size fits on {gpu.name} "
+                            f"({density}) at any tensor-parallel degree <= {max_tp}"
+                        )
+                else:
+                    # Memory fits and batches exist, but no requested
+                    # cluster size hosts a fitting degree — point the
+                    # user at --num-gpus, not --batch-size. (Degree 1
+                    # fits every size, so this branch is TP-only.)
+                    skipped.append(
+                        f"no requested cluster size (sizes {sizes}) hosts a "
+                        f"tensor-parallel degree <= {max_tp} fitting "
+                        f"{self.cfg.name} ({density}) on {gpu.name}"
+                    )
         return ScenarioGrid(scenarios), skipped
 
     def plan(
@@ -357,6 +464,9 @@ class ClusterPlanner:
         batch_sizes: Optional[Sequence[int]] = None,
         deadline_hours: Optional[float] = None,
         budget_dollars: Optional[float] = None,
+        parallelism: str = "dp",
+        max_tp: int = DEFAULT_MAX_TP,
+        grad_accums: Sequence[int] = (1,),
     ) -> ClusterPlan:
         """Sweep, price, and rank the full cluster space."""
         providers = (
@@ -370,6 +480,9 @@ class ClusterPlanner:
             interconnects=interconnects,
             densities=densities,
             batch_sizes=batch_sizes,
+            parallelism=parallelism,
+            max_tp=max_tp,
+            grad_accums=grad_accums,
         )
         runner = SweepRunner(cache=self.cache, jobs=self.jobs, executor=self.executor)
         points = runner.run(grid)
@@ -378,7 +491,11 @@ class ClusterPlanner:
             scenario = point.scenario
             assert isinstance(scenario, ClusterScenario)
             estimate = estimate_from_trace(
-                scenario.config, point.trace, scenario.num_gpus, scenario.interconnect_spec
+                scenario.config,
+                point.trace,
+                scenario.num_gpus,
+                scenario.interconnect_spec,
+                strategy=scenario.strategy_spec,
             )
             priced = set(self.catalog.providers_for(scenario.gpu_spec.name))
             for provider in providers:

@@ -62,6 +62,26 @@ def run(jobs: int = 1, cache: SimulationCache | None = None,
                note="adapter-only all-reduce: near-perfect scaling")
     result.add("x8_cost_premium_over_x1", nvlink8.dollars / single.dollars,
                note="multi-GPU buys time, not money (premium ~1.0)")
+
+    # Parallelism-strategy claims: dense Mixtral at the HellaSwag padded
+    # length fits no single A40, so pure data parallelism must skip the
+    # cell — tensor parallelism shards it into fitting and prices it.
+    tp_planner = ClusterPlanner(
+        "mixtral-8x7b", dataset="hellaswag", epochs=EPOCHS, cache=cache,
+        jobs=jobs, executor=executor,
+    )
+    tp_kwargs = dict(gpus=(A40,), providers=("cudo",), densities=(True,))
+    dp_plan = tp_planner.plan(parallelism="dp", **tp_kwargs)
+    auto_plan = tp_planner.plan(parallelism="auto", **tp_kwargs)
+    result.add("dense_hellaswag_dp_candidates", len(dp_plan.candidates),
+               note="pure DP cannot fit the cell (skipped)")
+    result.add("dense_hellaswag_auto_candidates", len(auto_plan.candidates),
+               note="TP degrees shard the cell into fitting")
+    assert auto_plan.cheapest is not None
+    result.add("dense_hellaswag_auto_cheapest", auto_plan.cheapest.label,
+               note=f"${auto_plan.cheapest.dollars:.2f} in "
+                    f"{auto_plan.cheapest.hours:.2f} h")
     result.metadata["deadline_hours"] = DEADLINE_HOURS
     result.metadata["skipped"] = list(plan.skipped)
+    result.metadata["dense_hellaswag_dp_skipped"] = list(dp_plan.skipped)
     return result

@@ -76,6 +76,17 @@ def run(jobs: int = 1, cache: SimulationCache | None = None,
     )
     result.add("max_mc_mean_vs_closed_form", mean_agreement,
                note="sampled mean vs analytical expectation, all spot candidates")
+    # 4. Cadences are Daly's closed-form optimum sqrt(2*MTBP*C) per
+    #    candidate (no menu was given), so they shrink as the fleet
+    #    hazard grows with cluster size.
+    cadence_by_size = {}
+    for c in spot:
+        cadence_by_size.setdefault(c.scenario.num_gpus, c.policy.interval_minutes)
+    sizes = sorted(cadence_by_size)
+    result.add("daly_cadence_minutes_x1", cadence_by_size[sizes[0]],
+               note="sqrt(2*MTBP*C) at the smallest fleet")
+    result.add("daly_cadence_minutes_x8", cadence_by_size[sizes[-1]],
+               note="fleet hazard up -> optimal cadence down")
     result.metadata["deadline_hours"] = DEADLINE_HOURS
     result.metadata["confidence"] = CONFIDENCE
     result.metadata["excluded"] = list(plan.excluded)

@@ -1,0 +1,253 @@
+"""Parallelism strategies: how a fine-tuning job is laid out on GPUs.
+
+A :class:`ParallelismStrategy` turns a cached *per-device* step trace
+into a cluster-level throughput estimate by pricing the collectives the
+layout needs on an :class:`~repro.gpu.multigpu.Interconnect`:
+
+* :class:`DataParallel` — every GPU holds a full replica; one gradient
+  all-reduce of the trainable parameters per optimizer step. With
+  ``grad_accum == 1`` this is bit-identical to the original
+  :func:`~repro.gpu.multigpu.estimate_from_trace` model.
+* :class:`TensorParallel` — each layer's weights (and optimizer moments)
+  are sharded across ``degree`` GPUs; every micro-batch pays two
+  activation synchronizations per layer in forward and backward
+  (Megatron-style, expressed as reduce-scatter + all-gather). GPUs
+  beyond the TP degree form data-parallel groups, so one class covers
+  pure TP (``degree == num_gpus``) and hybrid TP x DP; the gradient
+  all-reduce then moves the *sharded* payload across the DP groups.
+* the ``grad_accum`` axis (on either strategy) — run ``k`` micro-batches
+  per optimizer step, trading per-device micro-batch for global batch at
+  fixed memory while amortizing the optimizer update and gradient sync.
+
+The per-device trace a strategy consumes must match its layout: tensor
+parallelism simulates the *sharded* per-device workload (the scenario
+layer keys those traces by the ``tensor_parallel`` workload override),
+data parallelism the full replica. Strategies are frozen and hashable so
+they can ride on scenarios and in cache keys.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import ClassVar, Tuple, Union
+
+from .kernels import OPTIMIZER
+from .multigpu import (
+    Interconnect,
+    ModelConfig,
+    MultiGPUEstimate,
+    estimate_from_trace as _data_parallel_estimate,
+    trainable_gradient_bytes,
+)
+from .trace import StepTrace
+
+# Activations cross TP sync points in fp16.
+ACTIVATION_BYTES = 2.0
+
+# Megatron-style sync points: one after the attention/mixer block and one
+# after the FFN/MoE block, mirrored in backward.
+TP_SYNCS_PER_LAYER = 2
+
+
+@dataclass(frozen=True)
+class ParallelismStrategy:
+    """Pure data parallelism with an optional gradient-accumulation axis.
+
+    Subclasses extend the layout; this base *is* the data-parallel
+    strategy (:class:`DataParallel` is an alias-by-inheritance so specs
+    read naturally).
+    """
+
+    grad_accum: int = 1
+
+    kind: ClassVar[str] = "dp"
+
+    def __post_init__(self) -> None:
+        if self.grad_accum < 1:
+            raise ValueError(f"grad_accum must be >= 1, got {self.grad_accum}")
+
+    # ------------------------------------------------------------------
+    # Layout
+    # ------------------------------------------------------------------
+    @property
+    def tensor_parallel(self) -> int:
+        """TP degree; 1 means every GPU holds a full replica."""
+        return 1
+
+    @property
+    def is_default(self) -> bool:
+        """True for plain data parallelism without accumulation — the
+        pre-strategy behavior every legacy artifact was produced with."""
+        return self.tensor_parallel == 1 and self.grad_accum == 1
+
+    def data_parallel_ways(self, num_gpus: int) -> int:
+        return num_gpus // self.tensor_parallel
+
+    def validate(self, num_gpus: int) -> None:
+        """Reject layouts the cluster size cannot host."""
+        t = self.tensor_parallel
+        if num_gpus < t or num_gpus % t != 0:
+            raise ValueError(
+                f"tensor-parallel degree {t} does not divide num_gpus={num_gpus}"
+            )
+
+    def fits(self, num_gpus: int) -> bool:
+        t = self.tensor_parallel
+        return num_gpus >= t and num_gpus % t == 0
+
+    def spec(self) -> str:
+        """Canonical spelling, parseable by :func:`get_strategy`."""
+        head = f"tp{self.tensor_parallel}" if self.tensor_parallel > 1 else "dp"
+        return head if self.grad_accum == 1 else f"{head}-ga{self.grad_accum}"
+
+    def global_batch_size(self, num_gpus: int, per_device_batch: int) -> int:
+        """Queries contributing to one optimizer step across the fleet."""
+        return self.data_parallel_ways(num_gpus) * self.grad_accum * per_device_batch
+
+    # ------------------------------------------------------------------
+    # Estimation
+    # ------------------------------------------------------------------
+    def _micro_and_optimizer_seconds(self, trace: StepTrace) -> Tuple[float, float]:
+        """Split the per-device trace into the part every micro-batch
+        repeats (forward + backward + host overhead) and the optimizer
+        update paid once per accumulated step."""
+        optimizer = trace.stage_seconds()[OPTIMIZER]
+        return trace.total_seconds - optimizer, optimizer
+
+    def estimate(
+        self,
+        cfg: ModelConfig,
+        trace: StepTrace,
+        num_gpus: int,
+        interconnect: Interconnect,
+    ) -> MultiGPUEstimate:
+        """Cluster throughput from the per-device trace."""
+        if self.is_default:
+            return _data_parallel_estimate(cfg, trace, num_gpus, interconnect)
+        self.validate(num_gpus)
+        k = self.grad_accum
+        micro, optimizer = self._micro_and_optimizer_seconds(trace)
+        comm = interconnect.allreduce_seconds(trainable_gradient_bytes(cfg), num_gpus)
+        compute = k * micro + optimizer
+        step = compute + comm
+        queries = num_gpus * k * trace.batch_size
+        return MultiGPUEstimate(
+            num_gpus=num_gpus,
+            per_gpu_batch=trace.batch_size,
+            step_seconds=step,
+            allreduce_seconds=comm,
+            queries_per_second=queries / step,
+            scaling_efficiency=compute / step,
+            tensor_parallel=1,
+            grad_accum=k,
+        )
+
+
+class DataParallel(ParallelismStrategy):
+    """Named alias of the base strategy: full replicas, gradient
+    all-reduce, optional gradient accumulation."""
+
+
+@dataclass(frozen=True)
+class TensorParallel(ParallelismStrategy):
+    """Megatron-style tensor parallelism, hybrid with DP beyond ``degree``."""
+
+    degree: int = 2
+
+    kind: ClassVar[str] = "tp"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.degree < 2:
+            raise ValueError(
+                f"TensorParallel degree must be >= 2 (use DataParallel), got {self.degree}"
+            )
+
+    @property
+    def tensor_parallel(self) -> int:
+        return self.degree
+
+    def tp_comm_seconds_per_micro_batch(
+        self, cfg: ModelConfig, trace: StepTrace, interconnect: Interconnect
+    ) -> float:
+        """Activation synchronization one micro-batch pays: two sync
+        points per layer in forward, mirrored in backward, each a
+        reduce-scatter + all-gather of the fp16 activations."""
+        payload = ACTIVATION_BYTES * trace.batch_size * trace.seq_len * cfg.dim
+        sync = interconnect.reducescatter_seconds(
+            payload, self.degree
+        ) + interconnect.allgather_seconds(payload, self.degree)
+        return 2 * TP_SYNCS_PER_LAYER * cfg.num_layers * sync
+
+    def estimate(
+        self,
+        cfg: ModelConfig,
+        trace: StepTrace,
+        num_gpus: int,
+        interconnect: Interconnect,
+    ) -> MultiGPUEstimate:
+        """``trace`` must be the *sharded* per-device step (simulated with
+        the ``tensor_parallel`` workload override at this degree)."""
+        self.validate(num_gpus)
+        t, k = self.degree, self.grad_accum
+        dp_ways = num_gpus // t
+        micro, optimizer = self._micro_and_optimizer_seconds(trace)
+        tp_comm = self.tp_comm_seconds_per_micro_batch(cfg, trace, interconnect)
+        # The DP gradient sync moves each group's *shard* of the
+        # trainable gradients across the data-parallel groups.
+        grad_comm = interconnect.allreduce_seconds(
+            trainable_gradient_bytes(cfg) / t, dp_ways
+        )
+        compute = k * micro + optimizer
+        step = compute + k * tp_comm + grad_comm
+        queries = dp_ways * k * trace.batch_size
+        return MultiGPUEstimate(
+            num_gpus=num_gpus,
+            per_gpu_batch=trace.batch_size,
+            step_seconds=step,
+            allreduce_seconds=grad_comm,
+            queries_per_second=queries / step,
+            scaling_efficiency=compute / step,
+            tensor_parallel=t,
+            grad_accum=k,
+            tp_comm_seconds=k * tp_comm,
+        )
+
+
+DATA_PARALLEL = DataParallel()
+
+_SPEC_RE = re.compile(r"^(?:dp|tp(?P<tp>[1-9]\d*))(?:-ga(?P<ga>[1-9]\d*))?$")
+
+
+def get_strategy(spec: Union[str, ParallelismStrategy]) -> ParallelismStrategy:
+    """Resolve a strategy spelling — ``"dp"``, ``"tp4"``, ``"dp-ga8"``,
+    ``"tp4-ga2"`` (case-insensitive) — to a strategy instance; instances
+    pass through so ad-hoc strategies participate like ad-hoc GPU specs.
+    ``"tp1"`` normalizes to data parallelism."""
+    if isinstance(spec, ParallelismStrategy):
+        return spec
+    match = _SPEC_RE.match(spec.lower())
+    if match is None:
+        raise KeyError(
+            f"unknown parallelism strategy {spec!r}; expected 'dp', 'tpN' or "
+            f"an optional '-gaK' suffix (e.g. 'tp4-ga2')"
+        )
+    grad_accum = int(match.group("ga") or 1)
+    degree = int(match.group("tp") or 1)
+    if degree == 1:
+        return DataParallel(grad_accum=grad_accum)
+    return TensorParallel(grad_accum=grad_accum, degree=degree)
+
+
+def tp_degrees(max_tp: int) -> Tuple[int, ...]:
+    """The tensor-parallel degrees the planner enumerates: powers of two
+    in ``[2, max_tp]`` (degree 1 is the data-parallel strategy)."""
+    if max_tp < 1:
+        raise ValueError(f"max_tp must be >= 1, got {max_tp}")
+    degrees = []
+    degree = 2
+    while degree <= max_tp:
+        degrees.append(degree)
+        degree *= 2
+    return tuple(degrees)

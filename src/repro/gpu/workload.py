@@ -246,6 +246,53 @@ def _as_backward(kernels: List[Kernel], matmul_scale: float, other_scale: float)
     return out
 
 
+def _shard_tensor_parallel(kernels: List[Kernel], tensor_parallel: int) -> List[Kernel]:
+    """Per-device work under Megatron-style tensor parallelism.
+
+    Weight-bearing kernels — matmuls, attention (head-sharded), NF4
+    dequantization, the SSM scan (channel-sharded) and the optimizer
+    update (sharded moments) — divide their FLOPs and traffic by the TP
+    degree. Pointwise, normalization, softmax and top-k kernels operate
+    on the replicated layer inputs/outputs and stay full-size, which is
+    the conservative side of the approximation (real TP also shards the
+    expert-side pointwise work). The activation synchronization this
+    layout buys is priced separately by
+    :class:`repro.gpu.parallelism.TensorParallel`, not here.
+    """
+    if tensor_parallel == 1:
+        return kernels
+    if tensor_parallel < 1 or tensor_parallel != int(tensor_parallel):
+        raise ValueError(
+            f"tensor_parallel must be a positive integer, got {tensor_parallel}"
+        )
+    sharded_kinds = (
+        KernelKind.MATMUL,
+        KernelKind.ATTENTION,
+        KernelKind.DEQUANT,
+        KernelKind.SCAN,
+        KernelKind.OPTIMIZER,
+    )
+    out = []
+    for k in kernels:
+        if k.kind not in sharded_kinds:
+            out.append(k)
+            continue
+        out.append(
+            Kernel(
+                name=k.name,
+                kind=k.kind,
+                flops=k.flops / tensor_parallel,
+                bytes=k.bytes / tensor_parallel,
+                rows=k.rows,
+                layer=k.layer,
+                stage=k.stage,
+                count=k.count,
+                eff_scale=k.eff_scale,
+            )
+        )
+    return out
+
+
 def _optimizer_kernel(trainable: int, state_bytes_per_param: float) -> Kernel:
     return Kernel(
         "adamw_update",
@@ -267,6 +314,7 @@ def mixtral_step_kernels(
     checkpointing: bool = True,
     include_backward: bool = True,
     include_optimizer: bool = True,
+    tensor_parallel: int = 1,
 ) -> List[Kernel]:
     """Kernels of one Mixtral fine-tuning step (QLoRA defaults).
 
@@ -274,6 +322,9 @@ def mixtral_step_kernels(
     GEMMs); ``lora`` controls the training regime (adapters-only vs full
     fine-tuning) and defaults to ``quantized`` — the paper's QLoRA setup.
     Passing them separately enables ablations such as fp16 LoRA.
+    ``tensor_parallel`` shards the weight-bearing work across a TP group
+    (see :func:`_shard_tensor_parallel`); the resulting kernels describe
+    *one device's* share of the step.
 
     The backward matmul scale is 1x grad-input under LoRA (frozen weights
     need no grad-weight GEMM), 2x under full fine-tuning, plus 1x
@@ -301,7 +352,7 @@ def mixtral_step_kernels(
         trainable = lora_adapter_parameters(cfg) if lora else param_breakdown(cfg).total
         # fp32 adapters: weight + grad + two moments, read and write.
         kernels.append(_optimizer_kernel(trainable, state_bytes_per_param=24.0 if lora else 34.0))
-    return kernels
+    return _shard_tensor_parallel(kernels, tensor_parallel)
 
 
 # ---------------------------------------------------------------------------
@@ -457,8 +508,12 @@ def blackmamba_step_kernels(
     dense: bool = False,
     include_backward: bool = True,
     include_optimizer: bool = True,
+    tensor_parallel: int = 1,
 ) -> List[Kernel]:
-    """Kernels of one BlackMamba full-fine-tuning step."""
+    """Kernels of one BlackMamba full-fine-tuning step.
+
+    ``tensor_parallel`` shards the weight-bearing work across a TP group
+    exactly as in :func:`mixtral_step_kernels`."""
     if batch_size < 1 or seq_len < 1:
         raise ValueError("batch_size and seq_len must be >= 1")
     tokens = batch_size * seq_len
@@ -488,4 +543,4 @@ def blackmamba_step_kernels(
         trainable = trainable_parameters(cfg)
         # fp16 weights/grads + fp32 moments + fp32 master, read and write.
         kernels.append(_optimizer_kernel(trainable, state_bytes_per_param=34.0))
-    return kernels
+    return _shard_tensor_parallel(kernels, tensor_parallel)

@@ -105,48 +105,85 @@ def _constants(cfg: ModelConfig) -> MemoryModelConstants:
     return MEMORY_CONSTANTS[cfg.family]
 
 
-def activation_gb_per_query(cfg: ModelConfig, seq_len: int, dense: bool) -> float:
-    """Per-query activation memory at a padded sequence length."""
+def _validate_tensor_parallel(tensor_parallel: int) -> None:
+    if tensor_parallel < 1:
+        raise ValueError(
+            f"tensor_parallel must be >= 1, got {tensor_parallel}"
+        )
+
+
+def activation_gb_per_query(
+    cfg: ModelConfig, seq_len: int, dense: bool, tensor_parallel: int = 1
+) -> float:
+    """Per-query activation memory at a padded sequence length.
+
+    ``tensor_parallel > 1`` is the per-shard view: the MoE-scaling share
+    of activation memory (``gamma``) is expert intermediate buffers,
+    which tensor parallelism shards across the TP group; the remaining
+    ``1 - gamma`` is replicated layer inputs/outputs and stays resident
+    on every shard. The sparsity and sharding scalings therefore compose
+    on the same term: ``(1 - gamma) + gamma * sparsity / t``.
+    """
     if seq_len < 1:
         raise ValueError(f"seq_len must be >= 1, got {seq_len}")
+    _validate_tensor_parallel(tensor_parallel)
     constants = _constants(cfg)
     sparsity = cfg.moe.sparsity(dense)
     gamma = constants.moe_activation_fraction
-    scale = (1.0 - gamma) + gamma * sparsity
+    scale = (1.0 - gamma) + gamma * sparsity / tensor_parallel
     return constants.activation_gb_per_token * seq_len * scale
 
 
-def memory_breakdown(cfg: ModelConfig, seq_len: int, dense: bool) -> MemoryBreakdown:
+def memory_breakdown(
+    cfg: ModelConfig, seq_len: int, dense: bool, tensor_parallel: int = 1
+) -> MemoryBreakdown:
     """Full memory accounting for the paper's fine-tuning recipes.
 
     Mixtral: NF4 weights + fp32 LoRA adapters/gradients/moments.
     BlackMamba: fp16 weights/gradients + fp32 Adam moments.
+
+    ``tensor_parallel > 1`` returns the *per-shard* breakdown: weights,
+    adapters, gradients and optimizer moments divide across the TP group
+    (Megatron shards every projection, the embedding and the LM head);
+    the framework base is per-device and does not shard; activations
+    shard partially (see :func:`activation_gb_per_query`).
     """
+    _validate_tensor_parallel(tensor_parallel)
     constants = _constants(cfg)
+    shard = float(tensor_parallel)
     if isinstance(cfg, MixtralConfig):
         adapters = lora_adapter_parameters(cfg)
         return MemoryBreakdown(
-            weights_gb=model_memory_gb(cfg),
-            adapter_gb=4.0 * adapters / GB,
-            gradient_gb=4.0 * adapters / GB,
-            optimizer_gb=8.0 * adapters / GB,
+            weights_gb=model_memory_gb(cfg) / shard,
+            adapter_gb=4.0 * adapters / GB / shard,
+            gradient_gb=4.0 * adapters / GB / shard,
+            optimizer_gb=8.0 * adapters / GB / shard,
             framework_gb=constants.framework_base_gb,
-            activation_gb_per_query=activation_gb_per_query(cfg, seq_len, dense),
+            activation_gb_per_query=activation_gb_per_query(
+                cfg, seq_len, dense, tensor_parallel
+            ),
         )
     total = param_breakdown(cfg).total
     return MemoryBreakdown(
-        weights_gb=2.0 * total / GB,
+        weights_gb=2.0 * total / GB / shard,
         adapter_gb=0.0,
-        gradient_gb=2.0 * total / GB,
-        optimizer_gb=8.0 * total / GB,
+        gradient_gb=2.0 * total / GB / shard,
+        optimizer_gb=8.0 * total / GB / shard,
         framework_gb=constants.framework_base_gb,
-        activation_gb_per_query=activation_gb_per_query(cfg, seq_len, dense),
+        activation_gb_per_query=activation_gb_per_query(
+            cfg, seq_len, dense, tensor_parallel
+        ),
     )
 
 
-def max_batch_size(cfg: ModelConfig, gpu: GPUSpec, seq_len: int, dense: bool) -> int:
-    """Largest batch fitting in GPU memory — the Table III oracle."""
-    breakdown = memory_breakdown(cfg, seq_len, dense)
+def max_batch_size(
+    cfg: ModelConfig, gpu: GPUSpec, seq_len: int, dense: bool, tensor_parallel: int = 1
+) -> int:
+    """Largest batch fitting in GPU memory — the Table III oracle.
+
+    With ``tensor_parallel > 1`` this is the largest *per-TP-group*
+    micro-batch whose shard fits on each device."""
+    breakdown = memory_breakdown(cfg, seq_len, dense, tensor_parallel)
     free = gpu.memory_gb - breakdown.fixed_gb
     if free <= 0:
         return 0

@@ -29,6 +29,7 @@ from .checkpoint import (
     CheckpointPolicy,
     DEFAULT_INTERVAL_MINUTES,
     checkpoint_state_gb,
+    optimal_interval_minutes,
     restart_state_gb,
 )
 from .market import (
@@ -74,6 +75,7 @@ __all__ = [
     "expected_makespan_hours",
     "expected_preemptions",
     "get_spot_market",
+    "optimal_interval_minutes",
     "restart_state_gb",
     "risk_pareto_frontier",
     "segment_lengths",

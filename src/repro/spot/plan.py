@@ -13,8 +13,14 @@ and a pre-populated trace store makes the plan simulate nothing) and adds
 the risk knobs: ``--spot``
 selects the tiers, ``--mtbp-hours`` overrides every provider's mean time
 between preemptions, ``--checkpoint-minutes`` offers checkpoint cadences
-(each spot candidate adopts the best one), and ``--confidence`` sets the
-completion-probability target a deadline must be met with.
+(each spot candidate adopts the best one; without the flag every
+candidate gets Daly's closed-form optimum ``sqrt(2*MTBP*C)`` for its own
+fleet hazard and per-shard write cost), and ``--confidence`` sets the
+completion-probability target a deadline must be met with. The
+parallelism axes (``--parallelism dp|tp|auto``, ``--max-tp``,
+``--grad-accum``) are inherited from the cluster planner; checkpoint
+write/restart costs under tensor parallelism use the per-device sharded
+state.
 """
 
 from __future__ import annotations
@@ -27,21 +33,22 @@ from ..cluster.plan import (
     _parse_num_gpus,
     _parse_positive_csv,
     add_engine_arguments,
+    add_parallelism_arguments,
     resolve_gpu_name,
     resolve_model_key,
     resolve_plan_cache,
+    validate_parallelism_args,
 )
 from ..gpu.multigpu import INTERCONNECTS
 from ..serialization import dumps
-from .checkpoint import DEFAULT_INTERVAL_MINUTES
 from .planner import DEFAULT_CONFIDENCE, DEFAULT_SEED, RiskAdjustedPlanner
 from .risk import DEFAULT_TRIALS
 from ..cluster.planner import DEFAULT_INTERCONNECTS, DEFAULT_NUM_GPUS
 
 
-def _parse_checkpoint_minutes(values: Optional[List[str]]) -> Sequence[float]:
+def _parse_checkpoint_minutes(values: Optional[List[str]]) -> Optional[Sequence[float]]:
     if not values:
-        return (DEFAULT_INTERVAL_MINUTES,)
+        return None  # Daly closed-form optimum per candidate
     return _parse_positive_csv(
         values, float,
         "checkpoint cadences must be > 0 minutes, got {}",
@@ -71,6 +78,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="expert routing(s) to sweep (default: both)")
     parser.add_argument("--batch-size", action="append", type=int, metavar="B",
                         help="explicit per-GPU batch size(s); default: per-cell memory maximum")
+    add_parallelism_arguments(parser)
     parser.add_argument("--epochs", type=int, default=10)
     parser.add_argument("--num-queries", type=int, default=None,
                         help="override the dataset's query count")
@@ -86,8 +94,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="override every provider's mean time between preemptions "
                              "(default: per-provider market model; inf = never preempted)")
     parser.add_argument("--checkpoint-minutes", action="append", metavar="M[,M...]",
-                        help=f"checkpoint cadence(s) offered to the policy; each spot "
-                             f"candidate adopts the best (default: {DEFAULT_INTERVAL_MINUTES:g})")
+                        help="checkpoint cadence menu; each spot candidate adopts the "
+                             "best entry (default: Daly's closed-form optimum "
+                             "sqrt(2*MTBP*C) per candidate)")
     parser.add_argument("--confidence", type=float, default=DEFAULT_CONFIDENCE,
                         help="completion probability the deadline must be met with "
                              f"(default: {DEFAULT_CONFIDENCE})")
@@ -110,6 +119,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         model_key = resolve_model_key(args.model)
         gpus = [resolve_gpu_name(g) for g in args.gpu] if args.gpu else None
         num_gpus = _parse_num_gpus(args.num_gpus)
+        grad_accums = validate_parallelism_args(args)
         checkpoint_minutes = _parse_checkpoint_minutes(args.checkpoint_minutes)
         if args.mtbp_hours is not None and not args.mtbp_hours > 0:
             raise ValueError(f"--mtbp-hours must be positive, got {args.mtbp_hours}")
@@ -144,6 +154,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         interconnects=tuple(args.interconnect) if args.interconnect else DEFAULT_INTERCONNECTS,
         densities=_parse_densities(args.density),
         batch_sizes=tuple(args.batch_size) if args.batch_size else None,
+        parallelism=args.parallelism,
+        max_tp=args.max_tp,
+        grad_accums=grad_accums,
     )
     if args.as_json:
         print(dumps(plan.to_payload(), indent=2))

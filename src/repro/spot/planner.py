@@ -38,14 +38,16 @@ from ..cluster.planner import (
     ClusterPlan,
     ClusterPlanner,
     dominance_sweep,
+    strategy_payload,
 )
 from ..scenarios import SimulationCache
 from ..scenarios.scenario import ModelConfig
 from .checkpoint import (
     DEFAULT_DISK_BANDWIDTH_GBS,
-    DEFAULT_INTERVAL_MINUTES,
     DEFAULT_PROVISION_SECONDS,
     CheckpointPolicy,
+    checkpoint_state_gb,
+    optimal_interval_minutes,
 )
 from .market import SpotMarket, get_spot_market
 from .risk import (
@@ -143,7 +145,7 @@ class SpotCandidate:
 
     def to_dict(self) -> Dict[str, object]:
         scenario = self.base.scenario
-        return {
+        payload = {
             "label": self.label,
             "tier": self.tier,
             "gpu": scenario.gpu_spec.name,
@@ -166,6 +168,8 @@ class SpotCandidate:
             "mtbp_hours": self.market.mtbp_hours if self.market else None,
             "checkpoint_minutes": self.policy.interval_minutes if self.policy else None,
         }
+        payload.update(strategy_payload(scenario))
+        return payload
 
 
 def risk_pareto_frontier(candidates: Sequence[SpotCandidate]) -> List[SpotCandidate]:
@@ -298,12 +302,16 @@ class RiskAdjustedPlanner(ClusterPlanner):
     """The cluster planner with a spot tier and an interruption model.
 
     The sweep, memory filtering, trace caching and on-demand pricing are
-    inherited; this class adds per-provider spot markets, a checkpoint
+    inherited (including the parallelism-strategy axes — checkpoint costs
+    automatically use the *per-device* sharded state under tensor
+    parallelism); this class adds per-provider spot markets, a checkpoint
     policy derived from the model's state size, and the risk estimators.
-    ``checkpoint_minutes`` may list several cadences — each spot candidate
-    adopts the cadence minimizing its closed-form expected makespan, so
-    the cadence axis is optimized out per candidate rather than
-    multiplying the plan.
+    ``checkpoint_minutes=None`` (the default) gives every spot candidate
+    Daly's closed-form optimal cadence ``sqrt(2 * MTBP * C)`` for its own
+    fleet hazard and write cost; an explicit menu overrides it — each
+    candidate then adopts the menu cadence minimizing its closed-form
+    expected makespan, so the cadence axis is optimized out per candidate
+    rather than multiplying the plan.
     """
 
     def __init__(
@@ -319,7 +327,7 @@ class RiskAdjustedPlanner(ClusterPlanner):
         executor: str = "thread",
         markets: Optional[Mapping[str, SpotMarket]] = None,
         mtbp_hours: Optional[float] = None,
-        checkpoint_minutes: Sequence[float] = (DEFAULT_INTERVAL_MINUTES,),
+        checkpoint_minutes: Optional[Sequence[float]] = None,
         disk_bandwidth_gbs: float = DEFAULT_DISK_BANDWIDTH_GBS,
         provision_seconds: float = DEFAULT_PROVISION_SECONDS,
         trials: int = DEFAULT_TRIALS,
@@ -338,18 +346,19 @@ class RiskAdjustedPlanner(ClusterPlanner):
         )
         self.markets = dict(markets) if markets is not None else {}
         self.mtbp_hours = mtbp_hours
-        intervals = tuple(dict.fromkeys(checkpoint_minutes))
-        if not intervals:
-            raise ValueError("checkpoint_minutes must name at least one cadence")
-        self.policies: Tuple[CheckpointPolicy, ...] = tuple(
-            CheckpointPolicy.for_model(
-                self.cfg,
-                interval_minutes=minutes,
-                disk_bandwidth_gbs=disk_bandwidth_gbs,
-                provision_seconds=provision_seconds,
+        if checkpoint_minutes is None:
+            self.checkpoint_minutes: Optional[Tuple[float, ...]] = None  # Daly mode
+        else:
+            self.checkpoint_minutes = tuple(dict.fromkeys(checkpoint_minutes))
+            if not self.checkpoint_minutes:
+                raise ValueError("checkpoint_minutes must name at least one cadence")
+        if disk_bandwidth_gbs <= 0:
+            raise ValueError(
+                f"disk_bandwidth_gbs must be positive, got {disk_bandwidth_gbs}"
             )
-            for minutes in intervals
-        )
+        self.disk_bandwidth_gbs = disk_bandwidth_gbs
+        self.provision_seconds = provision_seconds
+        self._policy_cache: Dict[Tuple[int, float], CheckpointPolicy] = {}
         self.simulator = SpotSimulator(trials=trials, seed=seed)
         self.seed = seed
 
@@ -370,6 +379,42 @@ class RiskAdjustedPlanner(ClusterPlanner):
         processes and ``--jobs`` (crc32, unlike ``hash()``, is unsalted)."""
         return self.seed ^ zlib.crc32(candidate.label.encode())
 
+    def _policy_for(self, interval_minutes: float, tensor_parallel: int) -> CheckpointPolicy:
+        """The (cached) checkpoint policy at one cadence for one TP
+        degree — write/restart costs use the per-device sharded state."""
+        key = (tensor_parallel, interval_minutes)
+        policy = self._policy_cache.get(key)
+        if policy is None:
+            policy = CheckpointPolicy.for_model(
+                self.cfg,
+                interval_minutes=interval_minutes,
+                disk_bandwidth_gbs=self.disk_bandwidth_gbs,
+                provision_seconds=self.provision_seconds,
+                tensor_parallel=tensor_parallel,
+            )
+            self._policy_cache[key] = policy
+        return policy
+
+    def _candidate_intervals(
+        self, work_hours: float, fleet_rate_per_hour: float, tensor_parallel: int
+    ) -> Tuple[float, ...]:
+        """The cadences offered to one candidate: the explicit menu when
+        one was given, else Daly's closed-form optimum for the
+        candidate's own fleet hazard and per-shard write cost, clamped to
+        the job length (past which the cadence stops mattering)."""
+        if self.checkpoint_minutes is not None:
+            return self.checkpoint_minutes
+        write_seconds = (
+            checkpoint_state_gb(self.cfg, tensor_parallel) / self.disk_bandwidth_gbs
+        )
+        if fleet_rate_per_hour > 0:
+            interval = optimal_interval_minutes(
+                1.0 / fleet_rate_per_hour, write_seconds
+            )
+        else:
+            interval = float("inf")  # never preempted: one segment
+        return (min(interval, max(work_hours, 1e-9) * 60.0),)
+
     def _spot_candidate(
         self,
         base: ClusterCandidate,
@@ -381,11 +426,16 @@ class RiskAdjustedPlanner(ClusterPlanner):
         market = self.market_for(base.provider)
         rate = market.fleet_rate_per_hour(scenario.num_gpus)
         work = base.hours
+        tensor_parallel = scenario.strategy_spec.tensor_parallel
+        policies = [
+            self._policy_for(minutes, tensor_parallel)
+            for minutes in self._candidate_intervals(work, rate, tensor_parallel)
+        ]
         # Ties (e.g. every cadence at zero hazard) break toward the
         # shortest interval; keying explicitly also keeps min() from
         # comparing the unorderable policy dataclasses themselves.
         expected, policy = min(
-            ((expected_makespan_hours(work, rate, p), p) for p in self.policies),
+            ((expected_makespan_hours(work, rate, p), p) for p in policies),
             key=lambda pair: (pair[0], pair[1].interval_minutes),
         )
         spot_rate = self.catalog.spot_dollars_per_hour(

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple, Union
 
 from ..gpu.multigpu import Interconnect
+from ..gpu.parallelism import DATA_PARALLEL, ParallelismStrategy, get_strategy
 from ..gpu.specs import GPUSpec
 from ..scenarios import ScenarioGrid, freeze_overrides
 from ..scenarios.scenario import ModelConfig
@@ -58,14 +59,18 @@ def spot_product(
     dense: Sequence[bool] = (False,),
     num_gpus: Sequence[int] = (1,),
     interconnects: Sequence[Union[str, Interconnect]] = ("nvlink",),
+    strategies: Sequence[Union[str, ParallelismStrategy]] = (DATA_PARALLEL,),
     checkpoint_minutes: Sequence[float] = (DEFAULT_INTERVAL_MINUTES,),
     overrides=(),
 ) -> ScenarioGrid:
     """Cartesian product over the spot space, mirroring
     :func:`~repro.cluster.scenario.cluster_product` with the cadence axis
     innermost — every cadence of one cluster point is consecutive and all
-    of them share the point's single replica simulation."""
+    of them share the point's single replica simulation. Strategy/size
+    combinations the layout cannot host are omitted, as in
+    ``cluster_product``."""
     frozen = freeze_overrides(overrides)
+    resolved = [get_strategy(strategy) for strategy in strategies]
     return ScenarioGrid(
         SpotScenario(
             model=model,
@@ -77,6 +82,7 @@ def spot_product(
             overrides=frozen,
             num_gpus=n,
             interconnect=link,
+            strategy=strategy,
             checkpoint_minutes=minutes,
         )
         for model in models
@@ -85,7 +91,9 @@ def spot_product(
         for is_dense in dense
         for batch in batch_sizes
         for gpu in gpus
+        for strategy in resolved
         for n in num_gpus
         for link in interconnects
         for minutes in checkpoint_minutes
+        if strategy.fits(n)
     )

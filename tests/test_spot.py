@@ -422,10 +422,18 @@ class TestRiskAdjustedPlanner:
         plan = self._plan()
         for c in plan.spot_candidates:
             assert c.expected_dollars <= c.ondemand_dollars
-        harsh = self._plan(self._planner(mtbp_hours=0.2))
+        # Pin the pre-Daly menu default: at a 0.2 h MTBP a 30-minute
+        # cadence loses more to redone work than the discount recovers.
+        harsh = self._plan(
+            self._planner(mtbp_hours=0.2, checkpoint_minutes=(30.0,))
+        )
         assert not harsh.spot_candidates
         assert harsh.excluded
         assert all("exceeds on-demand" in reason for reason in harsh.excluded)
+        # Daly's closed-form cadence rescues some of those candidates:
+        # sqrt(2*MTBP*C) shortens the interval until spot saves again.
+        daly = self._plan(self._planner(mtbp_hours=0.2))
+        assert daly.spot_candidates
         # Even an overflow-grade hazard excludes cleanly (expected cost
         # saturates to inf) rather than crashing the plan.
         hopeless = self._plan(self._planner(mtbp_hours=1e-4))
