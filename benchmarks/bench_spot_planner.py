@@ -1,14 +1,20 @@
 """Spot-planner benchmark: the risk sweep is free on a warm cache.
 
-Times one cold risk-adjusted plan (empty cache), one warm repeat, and a
-plain on-demand cluster plan over the same cache, and writes
-``BENCH_spot_planner.json`` at the repo root. Three properties are
-asserted:
+Times one cold risk-adjusted plan (empty cache), one warm repeat, the
+``mc`` validation path on warmed traces, and a plain on-demand cluster
+plan over the same cache, and writes ``BENCH_spot_planner.json`` at the
+repo root. The asserted properties are the PR 6 acceptance criteria:
 
 * the risk layer is pure post-processing — the cold risk plan performs
-  exactly as many simulations as the on-demand cluster sweep it extends
-  (the spot tier, checkpoint cadences and Monte Carlo add zero);
-* the warm risk sweep reports **zero new simulations**;
+  exactly as many ``simulate_step`` calls as the on-demand cluster sweep
+  it extends (the spot tier, checkpoint cadences and risk distributions
+  add zero), and the warm risk sweep performs **none at all**;
+* the warm risk sweep also recomputes **zero risk results** (every
+  analytic distribution and closed-form pricing comes back from the
+  ``kind="risk"`` memoization namespace) and is at least **10x** faster
+  than cold;
+* a warm analytic spot plan costs at most 2x the warm cluster plan it
+  wraps — risk percentiles are no longer the bottleneck;
 * warm and cold plans are identical (Monte Carlo seeds are
   candidate-deterministic, not time- or order-dependent).
 
@@ -27,14 +33,34 @@ from repro.spot import RiskAdjustedPlanner
 
 ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_spot_planner.json"
 
+MIN_WARM_SPEEDUP = 10.0
+MAX_WARM_VS_CLUSTER = 2.0
+# Warm plans run in ~2 ms, where single-shot timings are mostly
+# scheduler noise; warm phases report the best of this many runs,
+# interleaving the risk and cluster plans so both sides of the
+# within-2x ratio sample the same CPU-frequency conditions.
+WARM_REPEATS = 5
 
-def _risk_plan(cache: SimulationCache):
+
+def _timed(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def _risk_plan(cache: SimulationCache, risk_mode: str = "analytic"):
     planner = RiskAdjustedPlanner(
         "mixtral-8x7b", dataset="math14k", cache=cache,
-        checkpoint_minutes=(10.0, 30.0, 60.0),
+        checkpoint_minutes=(10.0, 30.0, 60.0), risk_mode=risk_mode,
     )
     return planner.plan_spot(
         providers=("cudo",), deadline_hours=24.0, confidence=0.95
+    )
+
+
+def _cluster_plan(cache: SimulationCache):
+    return ClusterPlanner("mixtral-8x7b", dataset="math14k", cache=cache).plan(
+        providers=("cudo",), deadline_hours=24.0
     )
 
 
@@ -46,38 +72,82 @@ def measure() -> dict:
     cold_seconds = time.perf_counter() - start
     cold_stats = cache.stats()
 
-    start = time.perf_counter()
     warm_plan = _risk_plan(cache)
-    warm_seconds = time.perf_counter() - start
     warm_stats = cache.stats()
 
-    # The equivalent on-demand sweep on the same cache: the risk layer
-    # must not have simulated anything this plan would not.
-    ondemand_plan = ClusterPlanner("mixtral-8x7b", dataset="math14k", cache=cache).plan(
-        providers=("cudo",), deadline_hours=24.0
-    )
+    # The risk layers in isolation: fresh caches pre-warmed with the
+    # traces only, so the timed plans pay for risk math but not for
+    # simulate_step. analytic_seconds is the serving path's cost,
+    # mc_seconds the batched validation path's.
+    ana_cache = SimulationCache()
+    _cluster_plan(ana_cache)
+    start = time.perf_counter()
+    _risk_plan(ana_cache, risk_mode="analytic")
+    analytic_seconds = time.perf_counter() - start
+
+    mc_cache = SimulationCache()
+    _cluster_plan(mc_cache)
+    start = time.perf_counter()
+    mc_plan = _risk_plan(mc_cache, risk_mode="mc")
+    mc_seconds = time.perf_counter() - start
+
+    # The equivalent on-demand sweep on the original cache: the risk
+    # layer must not have simulated anything this plan would not.
+    ondemand_plan = _cluster_plan(cache)
     ondemand_stats = cache.stats()
 
+    # The warm wall-clock comparison, interleaved best-of-N.
+    warm_seconds = float("inf")
+    warm_cluster_seconds = float("inf")
+    for _ in range(WARM_REPEATS):
+        warm_seconds = min(warm_seconds, _timed(lambda: _risk_plan(cache)))
+        warm_cluster_seconds = min(
+            warm_cluster_seconds, _timed(lambda: _cluster_plan(cache))
+        )
+
+    warm_speedup = cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
     payload = {
         "benchmark": "spot_planner_risk_sweep",
+        "risk_mode": cold_plan.risk_mode,
         "cold_seconds": cold_seconds,
         "warm_seconds": warm_seconds,
-        "speedup": cold_seconds / warm_seconds if warm_seconds > 0 else float("inf"),
+        "analytic_seconds": analytic_seconds,
+        "mc_seconds": mc_seconds,
+        "warm_cluster_seconds": warm_cluster_seconds,
+        "warm_speedup": warm_speedup,
+        "warm_vs_cluster_ratio": (
+            warm_seconds / warm_cluster_seconds
+            if warm_cluster_seconds > 0 else float("inf")
+        ),
         "candidates": len(cold_plan.candidates),
         "spot_candidates": len(cold_plan.spot_candidates),
         "frontier": [c.label for c in cold_plan.frontier],
         "recommended": cold_plan.recommended.label if cold_plan.recommended else None,
         "cold_cache": {"hits": cold_stats.hits, "misses": cold_stats.misses,
-                       "entries": cold_stats.entries},
+                       "entries": cold_stats.entries,
+                       "simulations": cold_stats.simulations,
+                       "risk_hits": cold_stats.risk_hits,
+                       "risk_misses": cold_stats.risk_misses},
         "warm_cache": {"hits": warm_stats.hits, "misses": warm_stats.misses,
-                       "entries": warm_stats.entries},
-        # Zero new simulations for the warm risk sweep AND for the
-        # on-demand plan that follows it (shared replica traces).
-        "warm_new_simulations": warm_stats.misses - cold_stats.misses,
-        "ondemand_new_simulations": ondemand_stats.misses - warm_stats.misses,
+                       "entries": warm_stats.entries,
+                       "simulations": warm_stats.simulations,
+                       "risk_hits": warm_stats.risk_hits,
+                       "risk_misses": warm_stats.risk_misses},
+        # Zero new simulate_step calls for the warm risk sweep AND for
+        # the on-demand plan that follows it (shared replica traces),
+        # and zero recomputed risk results on the warm pass.
+        "warm_new_simulations": warm_stats.simulations - cold_stats.simulations,
+        "warm_new_risk_computations": warm_stats.risk_misses - cold_stats.risk_misses,
+        "ondemand_new_simulations": (
+            ondemand_stats.simulations - warm_stats.simulations
+        ),
         "ondemand_candidates": len(ondemand_plan.candidates),
         "warm_identical": [c.label for c in warm_plan.frontier]
                           == [c.label for c in cold_plan.frontier],
+        "mc_frontier_identical_to_analytic": (
+            [c.label for c in mc_plan.frontier]
+            == [c.label for c in cold_plan.frontier]
+        ),
     }
     ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
     return payload
@@ -85,13 +155,21 @@ def measure() -> dict:
 
 def test_spot_planner_risk_sweep_is_free_when_warm():
     payload = measure()
-    print(f"\ncold {payload['cold_seconds']:.3f}s, warm {payload['warm_seconds']:.3f}s, "
-          f"warm new sims {payload['warm_new_simulations']} -> {ARTIFACT.name}")
-    # The warm risk sweep simulated nothing new.
+    print(f"\ncold {payload['cold_seconds']:.3f}s, warm {payload['warm_seconds']:.4f}s "
+          f"({payload['warm_speedup']:.0f}x), analytic {payload['analytic_seconds']:.4f}s, "
+          f"mc {payload['mc_seconds']:.3f}s -> {ARTIFACT.name}")
+    # The warm risk sweep ran simulate_step zero times and recomputed
+    # zero risk results — everything came from the caches.
     assert payload["warm_new_simulations"] == 0, payload
+    assert payload["warm_new_risk_computations"] == 0, payload
     # Neither did the plain on-demand plan after it: risk and on-demand
     # planning share the identical replica traces.
     assert payload["ondemand_new_simulations"] == 0, payload
+    # The acceptance floor: warm risk plans are >= 10x faster than cold
+    # (the seed repo measured 0.96x — warm was no faster than cold).
+    assert payload["warm_speedup"] >= MIN_WARM_SPEEDUP, payload
+    # A warm analytic spot plan costs at most 2x the warm cluster plan.
+    assert payload["warm_vs_cluster_ratio"] <= MAX_WARM_VS_CLUSTER, payload
     # Every spot candidate in the plan saves money in expectation by
     # construction, and the plan is reproducible from a warm cache.
     assert payload["warm_identical"] is True

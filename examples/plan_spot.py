@@ -9,7 +9,13 @@ This example answers the three questions a budget owner actually asks:
 2. can I still promise a deadline? — the cheapest configuration with a
    >= 95% probability of finishing in 24 hours;
 3. when does spot stop being worth it? — sweeping the preemption rate
-   until the discount drowns in overhead.
+   until the discount drowns in overhead;
+4. can the cheap answer be trusted? — the analytic serving path against
+   its Monte Carlo validation run ("analytic serves, MC validates").
+
+Percentiles and completion probabilities come from the closed-form
+``AnalyticMakespanDistribution`` by default (risk_mode="analytic", no
+sampling); ``risk_mode="mc"`` swaps in the batched Monte Carlo.
 
 Run:  python examples/plan_spot.py
 """
@@ -81,10 +87,29 @@ def when_spot_stops_paying() -> None:
     print("  -> the planner drops spot the moment risk eats the discount\n")
 
 
+def analytic_serves_mc_validates() -> None:
+    print("=== Analytic serving path vs Monte Carlo validation ===")
+    plans = {}
+    for mode in ("analytic", "mc"):
+        planner = RiskAdjustedPlanner(
+            "mixtral-8x7b", dataset="math14k", risk_mode=mode
+        )
+        plans[mode] = planner.plan_spot(
+            gpus=(A40,), providers=("runpod",), densities=(False,), num_gpus=(4,),
+        )
+    pairs = zip(plans["analytic"].spot_candidates, plans["mc"].spot_candidates)
+    print(f"  {'configuration':<52} {'p95 analytic':>12} {'p95 mc':>8}")
+    for ana, mc in pairs:
+        print(f"  {ana.label:<52} {ana.p95_hours:>12.2f} {mc.p95_hours:>8.2f}")
+    print("  -> closed form and 512-trial sampling agree; the plan ships the "
+          "closed form\n")
+
+
 if __name__ == "__main__":
     risk_adjusted_frontier()
     deadline_with_confidence()
     when_spot_stops_paying()
+    analytic_serves_mc_validates()
     stats = default_cache().stats()
     print(f"(scenario cache: {stats.hits} hits / {stats.misses} misses — "
           f"the whole risk analysis re-simulated nothing)")

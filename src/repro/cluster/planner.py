@@ -24,6 +24,7 @@ never changes a plan.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..cloud.pricing import DEFAULT_CATALOG, PriceCatalog
@@ -89,16 +90,23 @@ class ClusterCandidate:
     def total_queries(self) -> int:
         return self.num_queries * self.epochs
 
-    @property
+    @cached_property
     def hours(self) -> float:
+        # Cached: queries_per_second walks the kernel trace, and sorting,
+        # dominance sweeps and the spot tier's exclusion arithmetic all
+        # reread hours/dollars O(n log n) times per plan.
         return wall_clock_hours(self.total_queries, self.estimate.queries_per_second)
 
-    @property
+    @cached_property
     def dollars(self) -> float:
         return self.hours * self.dollars_per_gpu_hour * self.scenario.num_gpus
 
-    @property
+    @cached_property
     def label(self) -> str:
+        # Cached (writes around the frozen dataclass into __dict__):
+        # sorting, dominance sweeps and the spot planner's seeds all key
+        # on the label, and rebuilding the tag string per comparison
+        # dominated the warm plan's profile.
         return f"{self.scenario.label(include_gpu=True)}_{self.provider}"
 
     def meets(

@@ -44,13 +44,23 @@ SIMULATED = "simulated"
 
 @dataclass(frozen=True)
 class CacheStats:
-    """A snapshot of the cache's accounting counters."""
+    """A snapshot of the cache's accounting counters.
+
+    ``risk_hits``/``risk_misses`` count :meth:`SimulationCache.memoize`
+    traffic tagged ``kind="risk"`` (the spot planner's memoized risk
+    results) separately from trace/derived traffic, so "the warm risk
+    sweep recomputed nothing" is assertable without entangling the
+    trace-layer counters that the zero-redundant-simulation criteria
+    already pin down.
+    """
 
     hits: int
     misses: int
     entries: int
     disk_hits: int = 0
     simulations: int = 0
+    risk_hits: int = 0
+    risk_misses: int = 0
 
     @property
     def lookups(self) -> int:
@@ -94,6 +104,8 @@ class SimulationCache:
         self._misses = 0
         self._disk_hits = 0
         self._simulations = 0
+        self._risk_hits = 0
+        self._risk_misses = 0
 
     def attach_store(self, store: Optional[DiskTraceStore]) -> None:
         """Attach (or with ``None`` detach) the disk tier. Used by the
@@ -224,23 +236,36 @@ class SimulationCache:
     def throughput(self, scenario: Scenario) -> float:
         return self.simulate(scenario).queries_per_second
 
-    def memoize(self, key: Tuple, compute):
+    def memoize(self, key: Tuple, compute, kind: str = "derived"):
         """Memoize a derived result (e.g. an Eq. 2 fit) that is a pure
         function of cached traces. ``key`` must be hashable and include
         everything the computation depends on. Concurrent misses collapse
         the same way :meth:`simulate` misses do, and the traffic counts
-        in :meth:`stats` hits/misses — derived results are lookups too,
-        so benchmarks see their cost instead of reading fits as free."""
+        in :meth:`stats` — derived results are lookups too, so benchmarks
+        see their cost instead of reading fits as free. ``kind`` selects
+        the counter pair: ``"derived"`` (default) books into hits/misses
+        alongside trace lookups; ``"risk"`` books into the dedicated
+        ``risk_hits``/``risk_misses`` telemetry so the spot planner's
+        memoized risk results are distinguishable from trace traffic."""
+        if kind not in ("derived", "risk"):
+            raise ValueError(f"kind must be 'derived' or 'risk', got {kind!r}")
+        risk = kind == "risk"
         while True:
             with self._lock:
                 if key in self._derived:
-                    self._hits += 1
+                    if risk:
+                        self._risk_hits += 1
+                    else:
+                        self._hits += 1
                     return self._derived[key]
                 event = self._inflight_derived.get(key)
                 if event is None:
                     event = threading.Event()
                     self._inflight_derived[key] = event
-                    self._misses += 1
+                    if risk:
+                        self._risk_misses += 1
+                    else:
+                        self._misses += 1
                     break  # this thread computes
             event.wait()
         try:
@@ -262,6 +287,8 @@ class SimulationCache:
                 entries=len(self._traces),
                 disk_hits=self._disk_hits,
                 simulations=self._simulations,
+                risk_hits=self._risk_hits,
+                risk_misses=self._risk_misses,
             )
 
     def clear(self) -> None:
@@ -276,6 +303,8 @@ class SimulationCache:
             self._misses = 0
             self._disk_hits = 0
             self._simulations = 0
+            self._risk_hits = 0
+            self._risk_misses = 0
 
     def __len__(self) -> int:
         with self._lock:

@@ -71,6 +71,14 @@ def jsonify(obj: Any) -> Any:
         # Sets are unordered; sort the sanitized members by their JSON
         # text so serialization is deterministic.
         return sorted((jsonify(value) for value in obj), key=lambda v: json.dumps(v))
+    # Numpy arrays (e.g. a grid of analytic percentiles): tolist() gives
+    # nested Python lists whose elements still need the scalar pass —
+    # non-finite entries must map to null here like everywhere else.
+    # Duck-typed on (tolist, ndim) so this module stays numpy-agnostic;
+    # 0-d arrays fall through to json_value's item() unwrapping.
+    tolist = getattr(obj, "tolist", None)
+    if callable(tolist) and getattr(obj, "ndim", 0):
+        return [jsonify(value) for value in tolist()]
     return json_value(obj)
 
 

@@ -11,8 +11,11 @@ package layers an explicit risk model on the cluster planner:
 * :class:`CheckpointPolicy` — checkpoint cadence with write/restart
   costs derived from the model's state size via ``memory.estimator``;
 * :func:`expected_makespan_hours` — closed-form expected makespan under
-  the hazard + policy, validated by the seeded, deterministic
-  :class:`SpotSimulator` Monte Carlo (p50/p95, completion probability);
+  the hazard + policy, with the full closed-form distribution
+  (:class:`AnalyticMakespanDistribution`: p50/p95, completion
+  probability, no sampling) as the serving path and the seeded,
+  batched :class:`SpotSimulator` Monte Carlo as the validation path
+  (``risk_mode``: analytic serves, MC validates);
 * :class:`RiskAdjustedPlanner` — every cluster candidate priced on
   demand *and* spot-with-risk; the Pareto frontier gains an
   (expected dollars, p95 hours) view and the deadline pick accepts a
@@ -40,7 +43,9 @@ from .market import (
 )
 from .planner import (
     DEFAULT_CONFIDENCE,
+    DEFAULT_RISK_MODE,
     ONDEMAND,
+    RISK_MODES,
     SPOT,
     RiskAdjustedPlanner,
     SpotCandidate,
@@ -48,6 +53,7 @@ from .planner import (
     risk_pareto_frontier,
 )
 from .risk import (
+    AnalyticMakespanDistribution,
     MakespanDistribution,
     SpotSimulator,
     expected_makespan_hours,
@@ -57,11 +63,14 @@ from .risk import (
 from .scenario import SpotScenario, spot_product
 
 __all__ = [
+    "AnalyticMakespanDistribution",
     "CheckpointPolicy",
     "DEFAULT_CONFIDENCE",
     "DEFAULT_INTERVAL_MINUTES",
     "DEFAULT_MTBP_HOURS",
+    "DEFAULT_RISK_MODE",
     "MakespanDistribution",
+    "RISK_MODES",
     "ONDEMAND",
     "RiskAdjustedPlanner",
     "SPOT",

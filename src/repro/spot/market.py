@@ -17,9 +17,17 @@ catalog); this module owns only the risk side of the market.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass, replace
+from functools import lru_cache
 from typing import Dict, Optional
+
+
+@lru_cache(maxsize=None)
+def _market_digest(provider: str, mtbp_hours: float) -> str:
+    text = f"spot-market:v1:{provider}:mtbp={mtbp_hours!r}"
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
 
 
 @dataclass(frozen=True)
@@ -65,6 +73,15 @@ class SpotMarket:
     def with_mtbp(self, mtbp_hours: float) -> "SpotMarket":
         """This market with an overridden MTBP (the ``--mtbp-hours`` knob)."""
         return replace(self, mtbp_hours=mtbp_hours)
+
+    def digest(self) -> str:
+        """A stable content digest of the interruption model, used in the
+        risk-memoization key (see ``RiskAdjustedPlanner``): two markets
+        hash equal iff every field the risk estimators read is equal.
+        ``repr`` keeps the float exact (`8.0` and `8.000000000000001`
+        must not collide) and the version tag invalidates persisted keys
+        if the market model ever grows fields."""
+        return _market_digest(self.provider, self.mtbp_hours)
 
 
 # Representative single-instance MTBPs. Reserved-capacity clouds reclaim

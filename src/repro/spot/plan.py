@@ -11,7 +11,11 @@ Mirrors ``python -m repro.cluster.plan`` (same model/GPU resolution, same
 byte-identical at any job count and executor, Monte Carlo seeds included,
 and a pre-populated trace store makes the plan simulate nothing) and adds
 the risk knobs: ``--spot``
-selects the tiers, ``--mtbp-hours`` overrides every provider's mean time
+selects the tiers, ``--risk-mode`` the percentile engine (``analytic``,
+the default, serves p50/p95/completion probability from the closed-form
+distribution with no sampling; ``mc`` runs the batched Monte Carlo;
+``both`` serves analytic and validates with MC — analytic serves, MC
+validates), ``--mtbp-hours`` overrides every provider's mean time
 between preemptions, ``--checkpoint-minutes`` offers checkpoint cadences
 (each spot candidate adopts the best one; without the flag every
 candidate gets Daly's closed-form optimum ``sqrt(2*MTBP*C)`` for its own
@@ -41,7 +45,13 @@ from ..cluster.plan import (
 )
 from ..gpu.multigpu import INTERCONNECTS
 from ..serialization import dumps
-from .planner import DEFAULT_CONFIDENCE, DEFAULT_SEED, RiskAdjustedPlanner
+from .planner import (
+    DEFAULT_CONFIDENCE,
+    DEFAULT_RISK_MODE,
+    DEFAULT_SEED,
+    RISK_MODES,
+    RiskAdjustedPlanner,
+)
 from .risk import DEFAULT_TRIALS
 from ..cluster.planner import DEFAULT_INTERCONNECTS, DEFAULT_NUM_GPUS
 
@@ -100,6 +110,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--confidence", type=float, default=DEFAULT_CONFIDENCE,
                         help="completion probability the deadline must be met with "
                              f"(default: {DEFAULT_CONFIDENCE})")
+    parser.add_argument("--risk-mode", choices=RISK_MODES, default=DEFAULT_RISK_MODE,
+                        help="percentile engine: 'analytic' serves p50/p95 from the "
+                             "closed-form distribution with no sampling, 'mc' runs the "
+                             "batched Monte Carlo validation path, 'both' serves "
+                             f"analytic and reports the MC mean (default: {DEFAULT_RISK_MODE})")
     parser.add_argument("--trials", type=int, default=DEFAULT_TRIALS,
                         help=f"Monte Carlo trials per spot candidate (default: {DEFAULT_TRIALS})")
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
@@ -142,6 +157,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         checkpoint_minutes=checkpoint_minutes,
         trials=args.trials,
         seed=args.seed,
+        risk_mode=args.risk_mode,
     )
     plan = planner.plan_spot(
         spot=args.spot,

@@ -8,11 +8,31 @@ its cached replica traces) is inherited unchanged, and every resulting
 * **on-demand**: the PR 2 numbers, makespan = wall-clock hours exactly;
 * **spot**: the provider's discounted rate against a *risk-adjusted*
   makespan from :mod:`repro.spot.risk` — closed-form expectation for
-  ranking, seeded Monte Carlo for p50/p95 and completion probability.
+  ranking, and per ``risk_mode`` either the analytic distribution
+  (default: p50/p95/completion probability with no sampling) or the
+  batched Monte Carlo validation path.
 
 The spot math is pure post-processing over already-priced candidates, so
 the risk sweep performs **zero** additional simulations beyond the
-on-demand plan, warm or cold.
+on-demand plan, warm or cold. Risk results themselves are memoized in
+the cache's derived-result namespace (``kind="risk"``) as one bundle per
+candidate, so a warm risk sweep recomputes nothing and pays a single
+cache probe per candidate:
+
+* the bundle key is ``("spot-risk", cluster_key, work_hours, market
+  digest, cadence axis, risk_mode, trials, seed)`` -> cadence pricing
+  plus (lazily) the makespan distributions;
+* the bundle is created with the closed-form cadence pricing only; the
+  distributions are filled in **after** the exclusion check, under the
+  sub-key ``("spot-risk-dist", cluster_key, work_hours, market digest,
+  resolved cadence, risk_mode, trials, seed)``, so a candidate priced
+  out of the spot tier never pays for a distribution — and if catalog
+  prices later admit it, the fill runs exactly once.
+
+Deadlines and prices are deliberately outside the keys: completion
+probabilities are evaluated against the memoized distribution at plan
+time, and catalog rates only enter the (cheap, uncached) exclusion
+arithmetic.
 
 Spot candidates whose expected cost exceeds their own on-demand cost
 (possible when the hazard is high enough that lost work and restarts eat
@@ -30,6 +50,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..cloud.pricing import PriceCatalog
@@ -52,9 +73,12 @@ from .checkpoint import (
 from .market import SpotMarket, get_spot_market
 from .risk import (
     DEFAULT_TRIALS,
+    AnalyticMakespanDistribution,
+    MakespanDistribution,
     SpotSimulator,
     expected_makespan_hours,
     expected_preemptions,
+    segment_lengths,
 )
 
 ONDEMAND = "ondemand"
@@ -62,6 +86,14 @@ SPOT = "spot"
 
 DEFAULT_CONFIDENCE = 0.95
 DEFAULT_SEED = 20240724  # the paper's venue year/month; any constant works
+
+# How spot percentiles/completion probabilities are produced:
+# "analytic" (default) serves them from the closed-form
+# AnalyticMakespanDistribution with no sampling; "mc" serves them from
+# the batched Monte Carlo (the validation path); "both" serves analytic
+# while also running the Monte Carlo so its mean is reported alongside.
+RISK_MODES = ("analytic", "mc", "both")
+DEFAULT_RISK_MODE = "analytic"
 
 
 @dataclass(frozen=True)
@@ -94,8 +126,10 @@ class SpotCandidate:
     def provider(self) -> str:
         return self.base.provider
 
-    @property
+    @cached_property
     def label(self) -> str:
+        # Cached like ClusterCandidate.label: sort keys and the frontier
+        # sweep read it O(n log n) times per plan.
         return f"{self.base.label}_{self.tier}"
 
     @property
@@ -109,8 +143,10 @@ class SpotCandidate:
     def _dollars(self, hours: float) -> float:
         return hours * self.dollars_per_gpu_hour * self.base.scenario.num_gpus
 
-    @property
+    @cached_property
     def expected_dollars(self) -> float:
+        # Cached: the dominance sweep, feasibility filter and both
+        # min() selections reread this O(n log n) times per plan.
         return self._dollars(self.expected_hours)
 
     @property
@@ -181,6 +217,49 @@ def risk_pareto_frontier(candidates: Sequence[SpotCandidate]) -> List[SpotCandid
     )
 
 
+@dataclass(frozen=True)
+class CadencePricing:
+    """The closed-form half of a risk bundle: the cadence selected from
+    the menu (or the Daly optimum) together with the exact moments at
+    that cadence. Pure function of (cluster scenario, work hours,
+    market, cadence axis) — no prices, no deadlines."""
+
+    policy: CheckpointPolicy
+    expected_hours: float
+    expected_preemptions: float
+
+
+@dataclass(frozen=True)
+class RiskDistributions:
+    """Stage-2 memoized risk result for one spot candidate: the serving
+    distribution (analytic or Monte Carlo, per risk mode) plus the
+    Monte Carlo run when the mode requested one. Deadlines are *not*
+    part of the memoization key — ``completion_probability(deadline)``
+    is evaluated against the stored distribution at plan time."""
+
+    serving: Union[AnalyticMakespanDistribution, MakespanDistribution]
+    mc: Optional[MakespanDistribution]
+
+    @property
+    def mc_mean_hours(self) -> float:
+        """The sampled mean when a Monte Carlo ran, else the serving
+        distribution's closed-form mean (modes without sampling)."""
+        return self.mc.mean_hours if self.mc is not None else self.serving.mean_hours
+
+
+@dataclass
+class RiskEntry:
+    """One candidate's memoized risk bundle (deliberately mutable): the
+    cadence pricing is computed on the first miss, the distributions are
+    filled in lazily after the exclusion check so a candidate priced out
+    of the spot tier never pays for one. The fill itself is memoized
+    under its own sub-key, so concurrent planners collapse to a single
+    computation and the bundle converges to the same value either way."""
+
+    pricing: CadencePricing
+    distributions: Optional[RiskDistributions] = None
+
+
 @dataclass
 class SpotPlan:
     """The risk planner's full answer: both tiers, risk frontier,
@@ -195,6 +274,7 @@ class SpotPlan:
     recommended: Optional[SpotCandidate]
     fastest: Optional[SpotCandidate]
     excluded: List[str] = field(default_factory=list)
+    risk_mode: str = DEFAULT_RISK_MODE
 
     @property
     def deadline_hours(self) -> Optional[float]:
@@ -227,6 +307,7 @@ class SpotPlan:
             "budget_dollars": self.budget_dollars,
             "confidence": self.confidence,
             "spot": self.spot_mode,
+            "risk_mode": self.risk_mode,
             "num_candidates": len(self.candidates),
             "num_spot_candidates": len(self.spot_candidates),
             "num_feasible": len(self.feasible),
@@ -255,7 +336,7 @@ class SpotPlan:
         lines.append(
             f"target: {', '.join(target) if target else 'none (full frontier)'}; "
             f"{len(self.feasible)}/{len(self.candidates)} candidates feasible; "
-            f"spot tier: {self.spot_mode}"
+            f"spot tier: {self.spot_mode}; risk mode: {self.risk_mode}"
         )
         width = max([len(c.label) for c in self.frontier[:top]] + [12])
         lines.append(
@@ -312,6 +393,14 @@ class RiskAdjustedPlanner(ClusterPlanner):
     candidate then adopts the menu cadence minimizing its closed-form
     expected makespan, so the cadence axis is optimized out per candidate
     rather than multiplying the plan.
+
+    ``risk_mode`` picks the percentile engine: ``"analytic"`` (default)
+    serves p50/p95/completion probability from the exact closed-form
+    distribution with no sampling, ``"mc"`` serves them from the batched
+    Monte Carlo (the validation path, deterministic per seed), and
+    ``"both"`` serves analytic while also running the Monte Carlo so
+    ``mc_mean_hours`` reports the sampled mean. Analytic serves, MC
+    validates.
     """
 
     def __init__(
@@ -332,6 +421,7 @@ class RiskAdjustedPlanner(ClusterPlanner):
         provision_seconds: float = DEFAULT_PROVISION_SECONDS,
         trials: int = DEFAULT_TRIALS,
         seed: int = DEFAULT_SEED,
+        risk_mode: str = DEFAULT_RISK_MODE,
     ) -> None:
         super().__init__(
             model,
@@ -361,6 +451,11 @@ class RiskAdjustedPlanner(ClusterPlanner):
         self._policy_cache: Dict[Tuple[int, float], CheckpointPolicy] = {}
         self.simulator = SpotSimulator(trials=trials, seed=seed)
         self.seed = seed
+        if risk_mode not in RISK_MODES:
+            raise ValueError(
+                f"risk_mode must be one of {RISK_MODES}, got {risk_mode!r}"
+            )
+        self.risk_mode = risk_mode
 
     # ------------------------------------------------------------------
     def market_for(self, provider: str) -> SpotMarket:
@@ -415,29 +510,137 @@ class RiskAdjustedPlanner(ClusterPlanner):
             interval = float("inf")  # never preempted: one segment
         return (min(interval, max(work_hours, 1e-9) * 60.0),)
 
+    def _cadence_axis(self) -> Tuple:
+        """The part of the risk-memoization keys describing how cadences
+        are generated: the explicit menu (or the Daly marker) plus the
+        write/restart cost model knobs that shape every policy."""
+        return (
+            self.checkpoint_minutes,
+            self.disk_bandwidth_gbs,
+            self.provision_seconds,
+        )
+
+    def _risk_entry(
+        self,
+        base: ClusterCandidate,
+        market: SpotMarket,
+        rate: float,
+        cluster_key: Tuple,
+    ) -> RiskEntry:
+        """The candidate's memoized risk bundle — the single cache probe
+        a warm plan pays per candidate. Created with the closed-form
+        cadence pricing (segments computed once per cadence and shared by
+        both estimators); distributions are filled in later, after the
+        exclusion check."""
+        work = base.hours
+        scenario = base.scenario
+        key = (
+            "spot-risk",
+            cluster_key,
+            work,
+            market.digest(),
+            self._cadence_axis(),
+            self.risk_mode,
+            self.simulator.trials,
+            self._seed_for(base),
+        )
+
+        def compute() -> RiskEntry:
+            tensor_parallel = scenario.strategy_spec.tensor_parallel
+            priced = []
+            for minutes in self._candidate_intervals(work, rate, tensor_parallel):
+                policy = self._policy_for(minutes, tensor_parallel)
+                segments = segment_lengths(work, policy)
+                priced.append(
+                    (
+                        expected_makespan_hours(work, rate, policy, segments=segments),
+                        policy,
+                        segments,
+                    )
+                )
+            # Ties (e.g. every cadence at zero hazard) break toward the
+            # shortest interval; keying explicitly also keeps min() from
+            # comparing the unorderable policy dataclasses themselves.
+            expected, policy, segments = min(
+                priced, key=lambda entry: (entry[0], entry[1].interval_minutes)
+            )
+            pricing = CadencePricing(
+                policy=policy,
+                expected_hours=expected,
+                expected_preemptions=expected_preemptions(
+                    work, rate, policy, segments=segments
+                ),
+            )
+            return RiskEntry(pricing=pricing)
+
+        return self.cache.memoize(key, compute, kind="risk")
+
+    def _risk_distributions(
+        self,
+        base: ClusterCandidate,
+        market: SpotMarket,
+        rate: float,
+        policy: CheckpointPolicy,
+        cluster_key: Tuple,
+    ) -> RiskDistributions:
+        """The bundle's lazy fill, memoized under its own sub-key: the
+        candidate's makespan distribution(s) at its resolved cadence,
+        per the planner's risk mode. Runs only for candidates that
+        survive the exclusion check."""
+        work = base.hours
+        seed = self._seed_for(base)
+        key = (
+            "spot-risk-dist",
+            cluster_key,
+            work,
+            market.digest(),
+            policy.interval_minutes,
+            policy.write_seconds,
+            policy.restart_seconds,
+            self.risk_mode,
+            self.simulator.trials,
+            seed,
+        )
+
+        def compute() -> RiskDistributions:
+            segments = segment_lengths(work, policy)
+            analytic: Optional[AnalyticMakespanDistribution] = None
+            mc: Optional[MakespanDistribution] = None
+            if self.risk_mode in ("analytic", "both"):
+                analytic = AnalyticMakespanDistribution(
+                    work, rate, policy, segments=segments
+                )
+            if self.risk_mode in ("mc", "both"):
+                mc = self.simulator.simulate(
+                    work, rate, policy, seed=seed, segments=segments
+                )
+            return RiskDistributions(
+                serving=analytic if analytic is not None else mc, mc=mc
+            )
+
+        return self.cache.memoize(key, compute, kind="risk")
+
     def _spot_candidate(
         self,
         base: ClusterCandidate,
         deadline_hours: Optional[float],
     ) -> Union[SpotCandidate, str]:
         """Risk-price one candidate on the spot tier, or the exclusion
-        reason when spot cannot beat the candidate's own on-demand cost."""
+        reason when spot cannot beat the candidate's own on-demand cost.
+
+        The expensive pieces are memoized (see the module docstring for
+        the bundle key contract); only the exclusion arithmetic — which
+        depends on catalog prices — runs unconditionally. The exclusion
+        check stays *before* the distribution fill so hopeless candidates
+        (hazard eats the discount) never pay for one."""
         scenario = base.scenario
         market = self.market_for(base.provider)
         rate = market.fleet_rate_per_hour(scenario.num_gpus)
-        work = base.hours
-        tensor_parallel = scenario.strategy_spec.tensor_parallel
-        policies = [
-            self._policy_for(minutes, tensor_parallel)
-            for minutes in self._candidate_intervals(work, rate, tensor_parallel)
-        ]
-        # Ties (e.g. every cadence at zero hazard) break toward the
-        # shortest interval; keying explicitly also keeps min() from
-        # comparing the unorderable policy dataclasses themselves.
-        expected, policy = min(
-            ((expected_makespan_hours(work, rate, p), p) for p in policies),
-            key=lambda pair: (pair[0], pair[1].interval_minutes),
-        )
+        cluster_key = scenario.cluster_key()  # built once, shared by both keys
+        entry = self._risk_entry(base, market, rate, cluster_key)
+        pricing = entry.pricing
+        expected = pricing.expected_hours
+        policy = pricing.policy
         spot_rate = self.catalog.spot_dollars_per_hour(
             scenario.gpu_spec.name, base.provider
         )
@@ -449,19 +652,25 @@ class RiskAdjustedPlanner(ClusterPlanner):
                 f"(mtbp {market.mtbp_hours:g} h x{scenario.num_gpus}, "
                 f"checkpoint {policy.interval_minutes:g} min)"
             )
-        distribution = self.simulator.simulate(
-            work, rate, policy, seed=self._seed_for(base)
-        )
+        distributions = entry.distributions
+        if distributions is None:
+            distributions = self._risk_distributions(
+                base, market, rate, policy, cluster_key
+            )
+            entry.distributions = distributions
+        serving = distributions.serving
         return SpotCandidate(
             base=base,
             tier=SPOT,
             dollars_per_gpu_hour=spot_rate,
             expected_hours=expected,
-            mc_mean_hours=distribution.mean_hours,
-            p50_hours=distribution.p50_hours,
-            p95_hours=distribution.p95_hours,
-            expected_preemptions=expected_preemptions(work, rate, policy),
-            completion_probability=distribution.completion_probability(deadline_hours),
+            mc_mean_hours=float(distributions.mc_mean_hours),
+            p50_hours=float(serving.p50_hours),
+            p95_hours=float(serving.p95_hours),
+            expected_preemptions=pricing.expected_preemptions,
+            completion_probability=float(
+                serving.completion_probability(deadline_hours)
+            ),
             market=market,
             policy=policy,
         )
@@ -555,4 +764,5 @@ class RiskAdjustedPlanner(ClusterPlanner):
             recommended=recommended,
             fastest=fastest,
             excluded=excluded,
+            risk_mode=self.risk_mode,
         )

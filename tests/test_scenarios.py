@@ -238,6 +238,27 @@ class TestSimulationCache:
         # ...but a derived miss is not a simulation.
         assert stats.simulations == 0
 
+    def test_memoize_kind_risk_uses_dedicated_counters(self):
+        """kind="risk" books into risk_hits/risk_misses so the spot
+        planner's memoized risk results stay distinguishable from trace
+        and fit traffic (which several tests pin exactly)."""
+        cache = SimulationCache()
+        assert cache.memoize(("risk", 1), lambda: "r", kind="risk") == "r"
+        assert cache.memoize(("risk", 1), lambda: "no", kind="risk") == "r"
+        stats = cache.stats()
+        assert (stats.risk_hits, stats.risk_misses) == (1, 1)
+        assert (stats.hits, stats.misses) == (0, 0)
+        # The namespace is shared; only the accounting differs.
+        assert cache.memoize(("risk", 1), lambda: "no") == "r"
+        assert cache.stats().hits == 1
+        cache.clear()
+        assert cache.stats().risk_hits == 0
+        assert cache.stats().risk_misses == 0
+
+    def test_memoize_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationCache().memoize(("k",), lambda: 1, kind="spot")
+
     def test_derived_and_trace_inflight_namespaces_are_disjoint(self):
         """Regression: memoize() and simulate() shared one in-flight map,
         so a derived computation keyed by a scenario key (or a colliding

@@ -12,6 +12,7 @@ from repro.models import MIXTRAL_8X7B
 from repro.models.config import BLACKMAMBA_2_8B
 from repro.scenarios import SimulationCache, preset, preset_names
 from repro.spot import (
+    AnalyticMakespanDistribution,
     CheckpointPolicy,
     ONDEMAND,
     RiskAdjustedPlanner,
@@ -343,6 +344,106 @@ class TestSpotSimulator:
         with pytest.raises(ValueError):
             SpotSimulator(trials=0)
 
+    def test_repeat_calls_share_no_stream_state(self):
+        """Each simulate call opens a fresh seeded stream: calling the
+        same simulator twice yields the identical distribution, not a
+        continuation of the first call's stream."""
+        sim = SpotSimulator(trials=64, seed=3)
+        assert sim.simulate(8.0, 0.4, policy()) == sim.simulate(8.0, 0.4, policy())
+
+    def test_mean_hours_counts_completed_trials_only(self):
+        """Regression: a single abandoned (inf) trial used to poison
+        ``mean_hours`` for the whole distribution."""
+        p = policy(minutes=600.0, restart_s=0.0)
+        sim = SpotSimulator(trials=64, seed=5, max_makespan_hours=3000.0)
+        dist = sim.simulate(100.0, 0.5, p)
+        assert 0 < dist.abandoned_trials < dist.trials
+        assert math.isfinite(dist.mean_hours)  # completed-trials mean
+        assert math.isinf(dist.mean_hours_all)  # every-sample mean
+        # With no abandonment the two means coincide.
+        clean = SpotSimulator(trials=64, seed=5).simulate(10.0, 0.3, policy())
+        assert clean.abandoned_trials == 0
+        assert clean.mean_hours == clean.mean_hours_all
+        # All-abandoned mirrors mean_preemptions: 0.0, not inf/NaN.
+        hopeless = SpotSimulator(trials=8, seed=5).simulate(100.0, 50.0, p)
+        assert hopeless.completed_trials == 0
+        assert hopeless.mean_hours == 0.0
+        assert math.isinf(hopeless.mean_hours_all)
+
+
+class TestAnalyticMakespanDistribution:
+    def test_zero_hazard_is_the_on_demand_point_mass_on_both_paths(self):
+        """At lam == 0 the analytic path and the Monte Carlo agree with
+        the on-demand makespan *exactly* — no tolerance."""
+        p = policy()
+        ana = AnalyticMakespanDistribution(13.0, 0.0, p)
+        mc = SpotSimulator(trials=64, seed=1).simulate(13.0, 0.0, p)
+        assert ana.mean_hours == 13.0
+        assert ana.p50_hours == ana.p95_hours == 13.0
+        assert ana.percentile(0.999) == 13.0
+        assert ana.completion_probability(13.0) == 1.0
+        assert ana.completion_probability(12.99) == 0.0
+        assert mc.p50_hours == ana.p50_hours
+        assert mc.p95_hours == ana.p95_hours
+        assert mc.mean_hours == ana.mean_hours
+
+    def test_mean_is_the_exact_closed_form(self):
+        p = policy()
+        for rate in (0.05, 0.5, 2.0):
+            ana = AnalyticMakespanDistribution(26.0, rate, p)
+            assert ana.mean_hours == expected_makespan_hours(26.0, rate, p)
+
+    @pytest.mark.parametrize(
+        "work,rate,minutes",
+        [
+            (26.0, 0.05, 30.0),  # light: ~1 preemption over the job
+            (26.0, 0.5, 30.0),   # moderate: lam*s ~ 0.25 per segment
+            (13.0, 2.0, 30.0),   # heavy: lam*s ~ 1, restarts dominate
+            (26.0, 4.0, 10.0),   # hostile but still completing
+        ],
+    )
+    def test_percentiles_agree_with_high_trial_monte_carlo(self, work, rate, minutes):
+        """Acceptance: across hazard regimes the closed form stays within
+        the documented 5% serving tolerance of a high-trial Monte Carlo."""
+        p = policy(minutes=minutes)
+        ana = AnalyticMakespanDistribution(work, rate, p)
+        mc = SpotSimulator(trials=4096, seed=11).simulate(work, rate, p)
+        assert ana.p50_hours == pytest.approx(mc.p50_hours, rel=0.05)
+        assert ana.p95_hours == pytest.approx(mc.p95_hours, rel=0.05)
+        deadline = ana.percentile(0.8)
+        assert ana.completion_probability(deadline) == pytest.approx(
+            mc.completion_probability(deadline), abs=0.05
+        )
+
+    def test_degenerate_regime_matches_monte_carlo_abandonment(self):
+        """A job whose expectation exceeds the makespan cap reports the
+        same way the Monte Carlo guards do: inf percentiles, completion
+        probability zero."""
+        p = policy(minutes=600.0, restart_s=0.0)
+        ana = AnalyticMakespanDistribution(100.0, 5.0, p)
+        mc = SpotSimulator(trials=8, seed=5).simulate(100.0, 5.0, p)
+        assert math.isinf(ana.p50_hours) and math.isinf(ana.p95_hours)
+        assert ana.completion_probability(1e9) == 0.0
+        assert ana.completion_probability(None) == 1.0
+        assert math.isinf(mc.p95_hours)
+
+    def test_percentiles_are_monotone_and_bounded_below_by_the_work(self):
+        ana = AnalyticMakespanDistribution(26.0, 0.5, policy())
+        values = [ana.percentile(q) for q in (0.05, 0.25, 0.5, 0.75, 0.95, 0.999)]
+        assert values == sorted(values)
+        assert values[0] >= 26.0  # never faster than the work itself
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AnalyticMakespanDistribution(10.0, -0.1, policy())
+        with pytest.raises(ValueError):
+            AnalyticMakespanDistribution(10.0, 0.5, policy(), grid_size=8)
+        ana = AnalyticMakespanDistribution(10.0, 0.5, policy())
+        with pytest.raises(ValueError):
+            ana.percentile(0.0)
+        with pytest.raises(ValueError):
+            ana.percentile(1.5)
+
 
 class TestSpotScenarioAndPreset:
     def scenario(self, minutes=30.0, n=4, link="nvlink"):
@@ -398,7 +499,10 @@ class TestSpotScenarioAndPreset:
 class TestRiskAdjustedPlanner:
     def _planner(self, cache=None, **kw):
         kw.setdefault("dataset", "math14k")
-        kw.setdefault("cache", cache or SimulationCache())
+        # `is None`, not truthiness: an *empty* SimulationCache is falsy
+        # (it defines __len__), and `cache or ...` would silently swap a
+        # caller's cold cache for a fresh one.
+        kw.setdefault("cache", SimulationCache() if cache is None else cache)
         return RiskAdjustedPlanner("mixtral-8x7b", **kw)
 
     def _plan(self, planner=None, **kw):
@@ -576,6 +680,69 @@ class TestRiskAdjustedPlanner:
         with pytest.raises(ValueError):
             self._planner(checkpoint_minutes=())
 
+    def test_invalid_risk_mode(self):
+        with pytest.raises(ValueError):
+            self._planner(risk_mode="exact")
+
+    def test_analytic_mode_never_samples(self, monkeypatch):
+        """The default serving path is sampling-free: poison the Monte
+        Carlo and the analytic plan must not notice."""
+        planner = self._planner()
+        def boom(*args, **kwargs):
+            raise AssertionError("analytic mode must not run the Monte Carlo")
+        monkeypatch.setattr(planner.simulator, "simulate", boom)
+        plan = self._plan(planner)
+        assert plan.spot_candidates
+
+    def test_analytic_serves_mc_validates_within_tolerance(self):
+        """Acceptance: on the spot-scaling cadence menu the analytic
+        percentiles stay within the documented 5% of the 512-trial
+        Monte Carlo, candidate by candidate."""
+        kwargs = dict(checkpoint_minutes=(10.0, 30.0, 60.0))
+        ana = self._plan(self._planner(risk_mode="analytic", **kwargs))
+        mc = self._plan(self._planner(risk_mode="mc", **kwargs))
+        by_label = {c.label: c for c in mc.spot_candidates}
+        assert {c.label for c in ana.spot_candidates} == set(by_label)
+        assert ana.spot_candidates
+        for c in ana.spot_candidates:
+            m = by_label[c.label]
+            assert c.expected_hours == m.expected_hours  # shared closed form
+            assert c.p50_hours == pytest.approx(m.p50_hours, rel=0.05)
+            assert c.p95_hours == pytest.approx(m.p95_hours, rel=0.05)
+
+    def test_both_mode_reports_the_sampled_mean_alongside(self):
+        plan = self._plan(self._planner(risk_mode="both"))
+        assert plan.spot_candidates
+        for c in plan.spot_candidates:
+            assert math.isfinite(c.mc_mean_hours)
+            assert c.mc_mean_hours == pytest.approx(c.expected_hours, rel=0.05)
+        # Without sampling the field degrades to the closed-form mean.
+        ana = self._plan(self._planner(risk_mode="analytic"))
+        for c in ana.spot_candidates:
+            assert c.mc_mean_hours == c.expected_hours
+
+    def test_risk_mode_recorded_in_payload(self):
+        assert self._plan().to_payload()["risk_mode"] == "analytic"
+        mc = self._plan(self._planner(risk_mode="mc"))
+        assert mc.to_payload()["risk_mode"] == "mc"
+        assert "risk mode: mc" in mc.to_table()
+
+    def test_warm_risk_plan_recomputes_nothing(self):
+        """Acceptance: risk results are memoized — a second plan over the
+        same cache books only risk hits, zero new risk computations, and
+        reproduces the first plan bit for bit."""
+        cache = SimulationCache()
+        first = self._plan(self._planner(cache=cache))
+        stats = cache.stats()
+        assert stats.risk_misses > 0
+        assert stats.risk_hits == 0  # every bundle was new
+        misses = stats.risk_misses
+        second = self._plan(self._planner(cache=cache))
+        stats = cache.stats()
+        assert stats.risk_misses == misses
+        assert stats.risk_hits > 0
+        assert second.to_payload() == first.to_payload()
+
 
 class TestSpotPlanCLI:
     ACCEPTANCE = ["--model", "mixtral", "--gpu", "a40", "--deadline-hours", "24",
@@ -642,6 +809,26 @@ class TestSpotPlanCLI:
         for c in payload["frontier"]:
             assert c["tier"] == "ondemand"
             assert c["expected_dollars"] == pytest.approx(c["ondemand_dollars"])
+
+    def test_risk_mode_default_is_analytic(self, capsys):
+        payload = self._payload(capsys, self.ACCEPTANCE)
+        assert payload["risk_mode"] == "analytic"
+
+    def test_risk_mode_mc_byte_identical_across_jobs(self, capsys):
+        """Acceptance: the batched Monte Carlo is seeded per candidate,
+        so --risk-mode mc output is byte-identical at any --jobs."""
+        argv = self.ACCEPTANCE + ["--risk-mode", "mc"]
+        assert plan_main(argv) == 0
+        first = capsys.readouterr().out
+        assert plan_main(argv + ["--jobs", "4"]) == 0
+        fanned = capsys.readouterr().out
+        assert fanned == first
+        assert json.loads(first)["risk_mode"] == "mc"
+
+    def test_invalid_risk_mode_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            plan_main(["--model", "mixtral", "--risk-mode", "exact"])
+        assert "--risk-mode" in capsys.readouterr().err
 
     def test_bad_flags_error_cleanly(self, capsys):
         with pytest.raises(SystemExit):

@@ -28,6 +28,7 @@ from repro.scenarios import (
 )
 from repro.scenarios.store import FORMAT_VERSION
 from repro.serialization import dumps
+from repro.spot.plan import main as spot_plan_main
 
 
 def scenario(batch_size: int = 1, **kwargs) -> Scenario:
@@ -320,6 +321,34 @@ class TestPlanCLI:
         out = self.run_plan(capsys)
         assert len(DiskTraceStore(tmp_path / "env-store")) > 0
         json.loads(out)
+
+
+class TestSpotPlanCLIDeterminism:
+    """The PR 4 byte-identity contract extended to the risk planner's
+    Monte Carlo path: per-candidate seeding makes --risk-mode mc output
+    independent of --jobs, the executor, and the disk store."""
+
+    SPOT_ARGS = PLAN_ARGS + ["--deadline-hours", "24", "--risk-mode", "mc"]
+
+    def run_spot(self, capsys, *extra) -> str:
+        assert spot_plan_main(self.SPOT_ARGS + list(extra)) == 0
+        return capsys.readouterr().out
+
+    def test_mc_process_executor_output_byte_identical(self, capsys, tmp_path):
+        baseline = self.run_spot(capsys, "--jobs", "1")
+        process = self.run_spot(
+            capsys, "--executor", "process", "--jobs", "2",
+            "--cache-dir", str(tmp_path),
+        )
+        assert process == baseline
+        payload = json.loads(baseline)  # stays valid JSON
+        assert payload["risk_mode"] == "mc"
+
+    def test_mc_cache_dir_reuse_is_byte_identical(self, capsys, tmp_path):
+        cold = self.run_spot(capsys, "--cache-dir", str(tmp_path))
+        assert len(DiskTraceStore(tmp_path)) > 0
+        warm = self.run_spot(capsys, "--cache-dir", str(tmp_path))
+        assert warm == cold
 
 
 class TestReportDeterminism:
