@@ -30,6 +30,7 @@ from ..gpu.specs import GPU_REGISTRY
 from ..models.registry import MODEL_REGISTRY
 from ..scenarios import SimulationCache, resolve_store
 from ..serialization import dumps
+from ..telemetry import add_telemetry_arguments, begin_telemetry, finish_telemetry
 from .planner import (
     DEFAULT_INTERCONNECTS,
     DEFAULT_MAX_TP,
@@ -199,6 +200,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--budget", type=float, default=None, dest="budget_dollars",
                         help="dollar target the recommendation must meet")
     add_engine_arguments(parser)
+    add_telemetry_arguments(parser)
     parser.add_argument("--top", type=int, default=10,
                         help="frontier rows in the text table (default: 10)")
     parser.add_argument("--json", action="store_true", dest="as_json",
@@ -216,6 +218,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         grad_accums = validate_parallelism_args(args)
     except (KeyError, ValueError) as exc:
         parser.error(str(exc))
+    begin_telemetry(args)
     planner = ClusterPlanner(
         model_key,
         dataset=args.dataset,
@@ -239,8 +242,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         max_tp=args.max_tp,
         grad_accums=grad_accums,
     )
+    block = finish_telemetry(
+        args, "repro.cluster.plan", planner.cache, grid=planner.last_grid
+    )
     if args.as_json:
-        print(dumps(plan.to_payload(), indent=2))
+        payload = plan.to_payload()
+        if block is not None:
+            payload["telemetry"] = block
+        print(dumps(payload, indent=2))
     else:
         print(plan.to_table(top=args.top))
     return 0

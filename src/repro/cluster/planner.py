@@ -46,6 +46,7 @@ from ..memory.estimator import EFFECTIVE_SEQ_LEN, max_batch_size
 from ..models.registry import get_model_spec
 from ..scenarios import ScenarioGrid, SimulationCache, SweepRunner, resolve_cache
 from ..scenarios.scenario import ModelConfig
+from ..telemetry.tracer import Tracer, resolve_tracer
 from .scenario import ClusterScenario
 
 DEFAULT_NUM_GPUS: Tuple[int, ...] = (1, 2, 4, 8)
@@ -282,6 +283,7 @@ class ClusterPlanner:
         cache: Optional[SimulationCache] = None,
         jobs: int = 1,
         executor: str = "thread",
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.cfg = get_model_spec(model).config if isinstance(model, str) else model
         self.dataset = dataset
@@ -304,6 +306,10 @@ class ClusterPlanner:
         self.cache = resolve_cache(cache)
         self.jobs = jobs
         self.executor = executor
+        self.tracer = resolve_tracer(tracer)
+        # The most recent plan's swept grid, kept for run manifests
+        # (telemetry computes its digest only when a flag asks for it).
+        self.last_grid: Optional[ScenarioGrid] = None
 
     # ------------------------------------------------------------------
     def _resolve_gpus(
@@ -476,59 +482,90 @@ class ClusterPlanner:
         max_tp: int = DEFAULT_MAX_TP,
         grad_accums: Sequence[int] = (1,),
     ) -> ClusterPlan:
-        """Sweep, price, and rank the full cluster space."""
+        """Sweep, price, and rank the full cluster space.
+
+        Traced as a ``planner.plan`` span with one child per phase —
+        enumerate (grid construction), simulate (the trace sweep),
+        strategy (applying the parallelism model to each trace), price
+        (provider rates), pareto (ordering, frontier, picks) — so a
+        ``--telemetry`` run shows exactly where a plan's time went.
+        """
+        tracer = self.tracer
         providers = (
             list(dict.fromkeys(providers)) if providers is not None
             else self.catalog.providers()
         )
-        grid, skipped = self.scenarios(
-            gpus=gpus,
-            providers=providers,
-            num_gpus=num_gpus,
-            interconnects=interconnects,
-            densities=densities,
-            batch_sizes=batch_sizes,
-            parallelism=parallelism,
-            max_tp=max_tp,
-            grad_accums=grad_accums,
-        )
-        runner = SweepRunner(cache=self.cache, jobs=self.jobs, executor=self.executor)
-        points = runner.run(grid)
-        candidates: List[ClusterCandidate] = []
-        for point in points:
-            scenario = point.scenario
-            assert isinstance(scenario, ClusterScenario)
-            estimate = estimate_from_trace(
-                scenario.config,
-                point.trace,
-                scenario.num_gpus,
-                scenario.interconnect_spec,
-                strategy=scenario.strategy_spec,
-            )
-            priced = set(self.catalog.providers_for(scenario.gpu_spec.name))
-            for provider in providers:
-                if provider not in priced:
-                    continue  # this provider does not rent this GPU
-                rate = self.catalog.dollars_per_hour(scenario.gpu_spec.name, provider)
-                candidates.append(
-                    ClusterCandidate(
-                        scenario=scenario,
-                        provider=provider,
-                        dollars_per_gpu_hour=rate,
-                        estimate=estimate,
-                        num_queries=self.num_queries,
-                        epochs=self.epochs,
-                    )
+        with tracer.span("planner.plan", model=self.cfg.name):
+            with tracer.span("planner.enumerate") as sp:
+                grid, skipped = self.scenarios(
+                    gpus=gpus,
+                    providers=providers,
+                    num_gpus=num_gpus,
+                    interconnects=interconnects,
+                    densities=densities,
+                    batch_sizes=batch_sizes,
+                    parallelism=parallelism,
+                    max_tp=max_tp,
+                    grad_accums=grad_accums,
                 )
-        candidates.sort(key=ClusterCandidate.sort_key)
-        frontier = pareto_frontier(candidates)
-        feasible = [c for c in candidates if c.meets(deadline_hours, budget_dollars)]
-        cheapest = min(
-            feasible, key=lambda c: (c.dollars, c.hours, c.label), default=None
-        )
-        fastest = min(
-            feasible, key=lambda c: (c.hours, c.dollars, c.label), default=None
-        )
+                sp.attributes["cells"] = len(grid)
+                sp.attributes["skipped"] = len(skipped)
+            self.last_grid = grid
+            with tracer.span("planner.simulate"):
+                runner = SweepRunner(
+                    cache=self.cache, jobs=self.jobs, executor=self.executor,
+                    tracer=tracer,
+                )
+                points = runner.run(grid)
+            with tracer.span("planner.strategy"):
+                estimates = []
+                for point in points:
+                    scenario = point.scenario
+                    assert isinstance(scenario, ClusterScenario)
+                    estimates.append(
+                        estimate_from_trace(
+                            scenario.config,
+                            point.trace,
+                            scenario.num_gpus,
+                            scenario.interconnect_spec,
+                            strategy=scenario.strategy_spec,
+                        )
+                    )
+            with tracer.span("planner.price") as sp:
+                candidates: List[ClusterCandidate] = []
+                for point, estimate in zip(points, estimates):
+                    scenario = point.scenario
+                    priced = set(self.catalog.providers_for(scenario.gpu_spec.name))
+                    for provider in providers:
+                        if provider not in priced:
+                            continue  # this provider does not rent this GPU
+                        rate = self.catalog.dollars_per_hour(
+                            scenario.gpu_spec.name, provider
+                        )
+                        candidates.append(
+                            ClusterCandidate(
+                                scenario=scenario,
+                                provider=provider,
+                                dollars_per_gpu_hour=rate,
+                                estimate=estimate,
+                                num_queries=self.num_queries,
+                                epochs=self.epochs,
+                            )
+                        )
+                sp.attributes["candidates"] = len(candidates)
+            with tracer.span("planner.pareto") as sp:
+                candidates.sort(key=ClusterCandidate.sort_key)
+                frontier = pareto_frontier(candidates)
+                feasible = [
+                    c for c in candidates if c.meets(deadline_hours, budget_dollars)
+                ]
+                cheapest = min(
+                    feasible, key=lambda c: (c.dollars, c.hours, c.label), default=None
+                )
+                fastest = min(
+                    feasible, key=lambda c: (c.hours, c.dollars, c.label), default=None
+                )
+                sp.attributes["frontier"] = len(frontier)
         return ClusterPlan(
             model_name=self.cfg.name,
             dataset=self.dataset,

@@ -28,6 +28,12 @@ from typing import Any, Dict, List
 
 from ..scenarios import default_cache, resolve_store
 from ..serialization import dumps, json_value as _json_value
+from ..telemetry import (
+    add_telemetry_arguments,
+    begin_telemetry,
+    default_tracer,
+    finish_telemetry,
+)
 from . import ALL_EXPERIMENTS
 from .common import ExperimentResult
 
@@ -51,10 +57,15 @@ def collect_results(
 ) -> Dict[str, ExperimentResult]:
     """Execute the suite; training artifacts only when requested."""
     results: Dict[str, ExperimentResult] = {}
-    for key, module in ALL_EXPERIMENTS.items():
-        if key in TRAINING_EXPERIMENTS and not include_training:
-            continue
-        results[key] = _run_module(module, scale=scale, jobs=jobs, executor=executor)
+    tracer = default_tracer()
+    with tracer.span("report.collect", scale=scale):
+        for key, module in ALL_EXPERIMENTS.items():
+            if key in TRAINING_EXPERIMENTS and not include_training:
+                continue
+            with tracer.span(f"experiment.{key}"):
+                results[key] = _run_module(
+                    module, scale=scale, jobs=jobs, executor=executor
+                )
     return results
 
 
@@ -148,17 +159,23 @@ def main(argv: List[str] | None = None) -> int:
                              "$REPRO_CACHE_DIR if set, else no persistence)")
     parser.add_argument("--json", action="store_true", dest="as_json",
                         help="emit the report as JSON instead of tables")
+    add_telemetry_arguments(parser)
     args = parser.parse_args(argv)
     # Attach the disk tier to the process-global cache so every consumer
     # (including experiments that don't take a cache argument) inherits it.
     default_cache().attach_store(resolve_store(args.cache_dir))
+    begin_telemetry(args)
     if args.as_json:
         payload = report_payload(include_training=args.training, scale=args.scale,
                                  jobs=args.jobs, executor=args.executor)
+        block = finish_telemetry(args, "repro.experiments.report", default_cache())
+        if block is not None:
+            payload["telemetry"] = block
         print(dumps(payload, indent=2))
     else:
         print(run_report(include_training=args.training, scale=args.scale,
                          jobs=args.jobs, executor=args.executor))
+        finish_telemetry(args, "repro.experiments.report", default_cache())
     return 0
 
 

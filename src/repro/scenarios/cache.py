@@ -26,12 +26,14 @@ the zero-redundant-simulation acceptance criteria assert against.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple, Union
 
 from ..gpu.simulator import GPUSimulator, SoftwareOverhead
 from ..gpu.specs import GPUSpec
 from ..gpu.trace import StepTrace
+from ..telemetry.metrics import MetricsRegistry
 from .scenario import ModelConfig, Scenario, freeze_overrides
 from .store import DiskTraceStore
 
@@ -68,7 +70,23 @@ class CacheStats:
 
     @property
     def hit_rate(self) -> float:
+        """The **any-tier** hit rate: the fraction of lookups served
+        without running the simulator, i.e. ``(memory hits + disk hits)
+        / lookups``. A disk hit counts as a hit here — the consumer got
+        a trace without paying for a simulation. For the stricter
+        "served from resident memory" view use :attr:`memory_hit_rate`;
+        both share the same denominator (``lookups`` = hits + disk_hits
+        + misses), so the two rates differ exactly by the disk tier's
+        share."""
         return (self.hits + self.disk_hits) / self.lookups if self.lookups else 0.0
+
+    @property
+    def memory_hit_rate(self) -> float:
+        """The **memory-only** hit rate: ``hits / lookups``. Disk hits
+        count against this rate (they were not resident), which is what
+        a "how warm is this process" question wants, as opposed to
+        :attr:`hit_rate`'s "how often did we avoid simulating"."""
+        return self.hits / self.lookups if self.lookups else 0.0
 
 
 class SimulationCache:
@@ -88,6 +106,7 @@ class SimulationCache:
         self,
         overheads: Optional[Dict[str, SoftwareOverhead]] = None,
         store: Optional[DiskTraceStore] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self._overheads = overheads
         self.store = store
@@ -100,12 +119,29 @@ class SimulationCache:
         self._inflight_traces: Dict[Tuple, threading.Event] = {}
         self._inflight_derived: Dict[Tuple, threading.Event] = {}
         self._lock = threading.Lock()
-        self._hits = 0
-        self._misses = 0
-        self._disk_hits = 0
-        self._simulations = 0
-        self._risk_hits = 0
-        self._risk_misses = 0
+        # The accounting counters are first-class metrics: stats() reads
+        # them back out of the registry, so CacheStats and a telemetry
+        # export can never disagree about what the cache did.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._hits = self.metrics.counter("cache.hits")
+        self._misses = self.metrics.counter("cache.misses")
+        self._disk_hits = self.metrics.counter("cache.disk_hits")
+        self._simulations = self.metrics.counter("cache.simulations")
+        self._risk_hits = self.metrics.counter("cache.risk_hits")
+        self._risk_misses = self.metrics.counter("cache.risk_misses")
+        # Per-source fetch latency: how long a lookup took depending on
+        # which tier answered it. Process-pool sweeps replay worker
+        # observations through adopt(), so the *counts* (though not the
+        # durations) are independent of --jobs/--executor.
+        self._fetch_seconds = {
+            MEMORY: self.metrics.histogram("cache.fetch.memory_seconds"),
+            DISK: self.metrics.histogram("cache.fetch.disk_seconds"),
+            SIMULATED: self.metrics.histogram("cache.fetch.simulated_seconds"),
+        }
+        self._memoize_seconds = {
+            "derived": self.metrics.histogram("cache.memoize.derived_seconds"),
+            "risk": self.metrics.histogram("cache.memoize.risk_seconds"),
+        }
 
     def attach_store(self, store: Optional[DiskTraceStore]) -> None:
         """Attach (or with ``None`` detach) the disk tier. Used by the
@@ -138,12 +174,14 @@ class SimulationCache:
         while the others wait on the in-flight marker, so duplicate
         points in a parallel sweep never run ``simulate_step`` twice.
         """
+        started = time.perf_counter()
         key = scenario.key()
         while True:
             with self._lock:
                 trace = self._traces.get(key)
                 if trace is not None:
-                    self._hits += 1
+                    self._hits.inc()
+                    self._fetch_seconds[MEMORY].observe(time.perf_counter() - started)
                     return trace, MEMORY
                 event = self._inflight_traces.get(key)
                 if event is None:
@@ -157,12 +195,13 @@ class SimulationCache:
                 trace = store.get(scenario)
                 if trace is not None:
                     with self._lock:
-                        self._disk_hits += 1
+                        self._disk_hits.inc()
                         self._traces[key] = trace
+                    self._fetch_seconds[DISK].observe(time.perf_counter() - started)
                     return trace, DISK
             with self._lock:
-                self._misses += 1
-                self._simulations += 1
+                self._misses.inc()
+                self._simulations.inc()
             sim = self.simulator(scenario.gpu_spec)
             trace = sim.simulate_step(
                 scenario.config,
@@ -182,6 +221,7 @@ class SimulationCache:
                     store.put(scenario, trace)
                 except OSError:
                     pass
+            self._fetch_seconds[SIMULATED].observe(time.perf_counter() - started)
             return trace, SIMULATED
         finally:
             # On failure waiters loop, find no trace, and one retries.
@@ -189,28 +229,46 @@ class SimulationCache:
                 self._inflight_traces.pop(key, None)
             event.set()
 
-    def adopt(self, scenario: Scenario, trace: StepTrace, source: str) -> StepTrace:
+    def adopt(
+        self,
+        scenario: Scenario,
+        trace: StepTrace,
+        source: str,
+        seconds: Optional[float] = None,
+    ) -> StepTrace:
         """Install a trace resolved by a process-pool worker, replaying
         the accounting of the tier the worker hit (``source``): a key
         already in memory counts a hit (and keeps the resident trace, for
         identity stability); otherwise the worker's disk hit or
         simulation is counted here exactly as a local lookup would have
         been — which is what keeps ``--executor process`` reports
-        byte-identical to serial runs, cache telemetry included."""
+        byte-identical to serial runs, cache telemetry included.
+
+        ``seconds`` is the worker's measured fetch latency; it is
+        replayed into the tier's latency histogram so the observation
+        *counts* match a serial run exactly (the durations are the
+        worker's own — wall-clock is the one thing replay cannot fake).
+        """
+        started = time.perf_counter()
         key = scenario.key()
         with self._lock:
             existing = self._traces.get(key)
             if existing is not None:
-                self._hits += 1
+                self._hits.inc()
+                self._fetch_seconds[MEMORY].observe(time.perf_counter() - started)
                 return existing
             self._traces[key] = trace
             if source == DISK:
-                self._disk_hits += 1
+                self._disk_hits.inc()
             else:
-                self._misses += 1
+                self._misses.inc()
                 if source == SIMULATED:
-                    self._simulations += 1
-            return trace
+                    self._simulations.inc()
+        tier = source if source in self._fetch_seconds else SIMULATED
+        self._fetch_seconds[tier].observe(
+            seconds if seconds is not None else time.perf_counter() - started
+        )
+        return trace
 
     def trace(
         self,
@@ -250,28 +308,32 @@ class SimulationCache:
         if kind not in ("derived", "risk"):
             raise ValueError(f"kind must be 'derived' or 'risk', got {kind!r}")
         risk = kind == "risk"
+        started = time.perf_counter()
+        latency = self._memoize_seconds[kind]
         while True:
             with self._lock:
                 if key in self._derived:
                     if risk:
-                        self._risk_hits += 1
+                        self._risk_hits.inc()
                     else:
-                        self._hits += 1
+                        self._hits.inc()
+                    latency.observe(time.perf_counter() - started)
                     return self._derived[key]
                 event = self._inflight_derived.get(key)
                 if event is None:
                     event = threading.Event()
                     self._inflight_derived[key] = event
                     if risk:
-                        self._risk_misses += 1
+                        self._risk_misses.inc()
                     else:
-                        self._misses += 1
+                        self._misses.inc()
                     break  # this thread computes
             event.wait()
         try:
             value = compute()
             with self._lock:
                 self._derived[key] = value
+            latency.observe(time.perf_counter() - started)
             return value
         finally:
             with self._lock:
@@ -281,15 +343,16 @@ class SimulationCache:
     # ------------------------------------------------------------------
     def stats(self) -> CacheStats:
         with self._lock:
-            return CacheStats(
-                hits=self._hits,
-                misses=self._misses,
-                entries=len(self._traces),
-                disk_hits=self._disk_hits,
-                simulations=self._simulations,
-                risk_hits=self._risk_hits,
-                risk_misses=self._risk_misses,
-            )
+            entries = len(self._traces)
+        return CacheStats(
+            hits=self._hits.value,
+            misses=self._misses.value,
+            entries=entries,
+            disk_hits=self._disk_hits.value,
+            simulations=self._simulations.value,
+            risk_hits=self._risk_hits.value,
+            risk_misses=self._risk_misses.value,
+        )
 
     def clear(self) -> None:
         """Drop all cached traces/simulators/derived results and reset
@@ -299,12 +362,14 @@ class SimulationCache:
             self._traces.clear()
             self._simulators.clear()
             self._derived.clear()
-            self._hits = 0
-            self._misses = 0
-            self._disk_hits = 0
-            self._simulations = 0
-            self._risk_hits = 0
-            self._risk_misses = 0
+        # Reset only this cache's instruments, not the whole registry —
+        # a shared registry may carry other layers' metrics.
+        for counter in (self._hits, self._misses, self._disk_hits,
+                        self._simulations, self._risk_hits, self._risk_misses):
+            counter.reset()
+        for histogram in (*self._fetch_seconds.values(),
+                          *self._memoize_seconds.values()):
+            histogram.reset()
 
     def __len__(self) -> int:
         with self._lock:

@@ -25,11 +25,13 @@ Two executors:
 from __future__ import annotations
 
 import math
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..gpu.trace import StepTrace
+from ..telemetry.tracer import Tracer, resolve_tracer
 from .cache import SimulationCache, resolve_cache
 from .grid import ScenarioGrid
 from .scenario import Scenario
@@ -46,21 +48,35 @@ def _simulate_chunk(
     scenarios: Sequence[Scenario],
     store_root: Optional[str],
     overheads,
-) -> List[Tuple[StepTrace, str]]:
+) -> List[Tuple[StepTrace, str, float]]:
     """Process-pool worker: resolve one contiguous chunk of the grid
     through a fresh cache tiered onto the shared disk store (when the
-    parent has one), returning each trace with its provenance so the
-    parent can replay accounting. Top-level so it pickles."""
+    parent has one), returning each trace with its provenance and fetch
+    latency so the parent can replay accounting — counters *and* latency
+    histograms. Top-level so it pickles."""
     from .store import DiskTraceStore
 
     store = DiskTraceStore(store_root) if store_root else None
     cache = SimulationCache(overheads=overheads, store=store)
-    return [cache.fetch(scenario) for scenario in scenarios]
+    results: List[Tuple[StepTrace, str, float]] = []
+    for scenario in scenarios:
+        started = time.perf_counter()
+        trace, source = cache.fetch(scenario)
+        results.append((trace, source, time.perf_counter() - started))
+    return results
 
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One executed scenario: its grid position, inputs and trace."""
+    """One executed scenario: its grid position, inputs and trace.
+
+    A *degenerate* trace — zero, negative or non-finite step time, as a
+    hand-built or corrupted trace can produce — is reported consistently
+    as "no throughput": ``queries_per_second`` is ``0.0`` and
+    ``total_seconds`` is ``inf``, the same convention
+    :func:`repro.core.cost.wall_clock_hours` maps zero throughput to, so
+    downstream cost math never divides by zero or propagates NaN.
+    """
 
     index: int
     scenario: Scenario
@@ -70,13 +86,25 @@ class SweepPoint:
     def label(self) -> str:
         return self.scenario.label()
 
+    def _step_seconds(self) -> float:
+        """The trace's step time, or ``None``-like sentinel handling for
+        degenerate values (non-positive or non-finite)."""
+        total = self.trace.total_seconds
+        return total if math.isfinite(total) and total > 0.0 else float("nan")
+
     @property
     def queries_per_second(self) -> float:
-        return self.trace.queries_per_second
+        total = self._step_seconds()
+        if math.isnan(total):
+            return 0.0
+        return self.trace.batch_size / total
 
     @property
     def total_seconds(self) -> float:
-        return self.trace.total_seconds
+        total = self._step_seconds()
+        if math.isnan(total):
+            return float("inf")
+        return total
 
 
 class SweepRunner:
@@ -87,23 +115,36 @@ class SweepRunner:
         cache: Optional[SimulationCache] = None,
         jobs: int = 1,
         executor: str = "thread",
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if executor not in EXECUTORS:
             raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
         self.cache = resolve_cache(cache)
         self.jobs = max(1, int(jobs))
         self.executor = executor
+        self.tracer = resolve_tracer(tracer)
 
     def run(self, grid: ScenarioGrid) -> List[SweepPoint]:
-        """Simulate every scenario; results are in grid order."""
+        """Simulate every scenario; results are in grid order.
+
+        The run is traced as one ``sweep.run`` span with a single
+        ``sweep.execute`` child regardless of executor — the executor and
+        job count are span *attributes*, never span structure, so the
+        span tree shape is identical at any parallelism setting (the
+        telemetry analogue of the byte-identical-results contract).
+        """
         scenarios = list(grid)
-        if self.jobs == 1 or len(scenarios) <= 1:
-            traces = [self.cache.simulate(s) for s in scenarios]
-        elif self.executor == "process":
-            traces = self._run_process(scenarios)
-        else:
-            with ThreadPoolExecutor(max_workers=self.jobs) as pool:
-                traces = list(pool.map(self.cache.simulate, scenarios))
+        with self.tracer.span(
+            "sweep.run", cells=len(scenarios), jobs=self.jobs, executor=self.executor
+        ):
+            with self.tracer.span("sweep.execute"):
+                if self.jobs == 1 or len(scenarios) <= 1:
+                    traces = [self.cache.simulate(s) for s in scenarios]
+                elif self.executor == "process":
+                    traces = self._run_process(scenarios)
+                else:
+                    with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+                        traces = list(pool.map(self.cache.simulate, scenarios))
         return [
             SweepPoint(index=i, scenario=s, trace=t)
             for i, (s, t) in enumerate(zip(scenarios, traces))
@@ -120,7 +161,8 @@ class SweepRunner:
         work this process already has. The replay below resolves resident
         points through the normal fetch path (a memory hit, as serially)
         and duplicates through :meth:`SimulationCache.adopt` (first
-        occurrence takes the worker's provenance, the rest count hits)."""
+        occurrence takes the worker's provenance and measured latency,
+        the rest count hits)."""
         pending: dict = {}
         for scenario in scenarios:
             if scenario not in self.cache and scenario.key() not in pending:

@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import List, Optional, Union
 
 from ..gpu.trace import StepTrace
+from ..telemetry.metrics import MetricsRegistry
 from .scenario import Scenario
 
 # Bump whenever the entry layout or the pickled trace schema changes;
@@ -56,9 +57,22 @@ class DiskTraceStore:
     docstring for the full contract.
     """
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(
+        self,
+        root: Union[str, Path],
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.root = Path(root).expanduser()
         self.root.mkdir(parents=True, exist_ok=True)
+        # Event counters, not contract state: corruption tolerance means
+        # a broken entry silently reads as a miss, and these are how an
+        # operator ever finds out it happened.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._read_hits = self.metrics.counter("store.read_hits")
+        self._read_misses = self.metrics.counter("store.read_misses")
+        self._corrupt_entries = self.metrics.counter("store.corrupt_entries")
+        self._writes = self.metrics.counter("store.writes")
+        self._write_errors = self.metrics.counter("store.write_errors")
 
     # ------------------------------------------------------------------
     def path_for(self, digest: str) -> Path:
@@ -73,14 +87,28 @@ class DiskTraceStore:
         try:
             with open(path, "rb") as handle:
                 entry = pickle.load(handle)
-        except Exception:  # missing, truncated, garbled, not a pickle...
+        except FileNotFoundError:
+            self._read_misses.inc()
             return None
-        if not isinstance(entry, dict) or entry.get("version") != FORMAT_VERSION:
+        except Exception:  # truncated, garbled, not a pickle...
+            self._corrupt_entries.inc()
+            self._read_misses.inc()
             return None
-        if entry.get("scenario") != scenario.canonical_text():
-            return None  # digest collision or stale canonical format
-        trace = entry.get("trace")
-        return trace if isinstance(trace, StepTrace) else None
+        trace = entry.get("trace") if isinstance(entry, dict) else None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("version") != FORMAT_VERSION
+            or entry.get("scenario") != scenario.canonical_text()
+            or not isinstance(trace, StepTrace)
+        ):
+            # A decodable-but-wrong entry (version bump, digest
+            # collision, stale canonical format, foreign payload) is a
+            # corruption event too: the file exists but cannot serve.
+            self._corrupt_entries.inc()
+            self._read_misses.inc()
+            return None
+        self._read_hits.inc()
+        return trace
 
     def put(self, scenario: Scenario, trace: StepTrace) -> None:
         """Persist ``trace`` atomically: serialize to a temporary file in
@@ -92,19 +120,25 @@ class DiskTraceStore:
             "scenario": scenario.canonical_text(),
             "trace": trace,
         }
-        descriptor, tmp_name = tempfile.mkstemp(
-            dir=self.root, prefix=".tmp-", suffix=ENTRY_SUFFIX
-        )
+        try:
+            descriptor, tmp_name = tempfile.mkstemp(
+                dir=self.root, prefix=".tmp-", suffix=ENTRY_SUFFIX
+            )
+        except OSError:
+            self._write_errors.inc()
+            raise
         try:
             with os.fdopen(descriptor, "wb") as handle:
                 pickle.dump(entry, handle, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp_name, self.path_for(scenario.digest()))
         except BaseException:
+            self._write_errors.inc()
             try:
                 os.unlink(tmp_name)
             except OSError:
                 pass
             raise
+        self._writes.inc()
 
     # ------------------------------------------------------------------
     def digests(self) -> List[str]:

@@ -45,6 +45,7 @@ from ..cluster.plan import (
 )
 from ..gpu.multigpu import INTERCONNECTS
 from ..serialization import dumps
+from ..telemetry import add_telemetry_arguments, begin_telemetry, finish_telemetry
 from .planner import (
     DEFAULT_CONFIDENCE,
     DEFAULT_RISK_MODE,
@@ -120,6 +121,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
                         help="base Monte Carlo seed (per-candidate seeds derive from it)")
     add_engine_arguments(parser)
+    add_telemetry_arguments(parser)
     parser.add_argument("--top", type=int, default=10,
                         help="frontier rows in the text table (default: 10)")
     parser.add_argument("--json", action="store_true", dest="as_json",
@@ -144,6 +146,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             raise ValueError(f"--trials must be >= 1, got {args.trials}")
     except (KeyError, ValueError) as exc:
         parser.error(str(exc))
+    begin_telemetry(args)
     planner = RiskAdjustedPlanner(
         model_key,
         dataset=args.dataset,
@@ -174,8 +177,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         max_tp=args.max_tp,
         grad_accums=grad_accums,
     )
+    block = finish_telemetry(
+        args, "repro.spot.plan", planner.cache, grid=planner.last_grid
+    )
     if args.as_json:
-        print(dumps(plan.to_payload(), indent=2))
+        payload = plan.to_payload()
+        if block is not None:
+            payload["telemetry"] = block
+        print(dumps(payload, indent=2))
     else:
         print(plan.to_table(top=args.top))
     return 0

@@ -48,6 +48,7 @@ configurations compete with cheap-but-risky ones on one chart, and the
 
 from __future__ import annotations
 
+import time
 import zlib
 from dataclasses import dataclass, field
 from functools import cached_property
@@ -63,6 +64,7 @@ from ..cluster.planner import (
 )
 from ..scenarios import SimulationCache
 from ..scenarios.scenario import ModelConfig
+from ..telemetry.tracer import Tracer
 from .checkpoint import (
     DEFAULT_DISK_BANDWIDTH_GBS,
     DEFAULT_PROVISION_SECONDS,
@@ -422,6 +424,7 @@ class RiskAdjustedPlanner(ClusterPlanner):
         trials: int = DEFAULT_TRIALS,
         seed: int = DEFAULT_SEED,
         risk_mode: str = DEFAULT_RISK_MODE,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         super().__init__(
             model,
@@ -433,6 +436,7 @@ class RiskAdjustedPlanner(ClusterPlanner):
             cache=cache,
             jobs=jobs,
             executor=executor,
+            tracer=tracer,
         )
         self.markets = dict(markets) if markets is not None else {}
         self.mtbp_hours = mtbp_hours
@@ -603,16 +607,28 @@ class RiskAdjustedPlanner(ClusterPlanner):
         )
 
         def compute() -> RiskDistributions:
+            # The analytic and Monte Carlo paths are timed separately
+            # (histogram count doubles as "how many distributions were
+            # built this run"), so a telemetry export shows what the
+            # serving path costs vs what validation costs.
             segments = segment_lengths(work, policy)
             analytic: Optional[AnalyticMakespanDistribution] = None
             mc: Optional[MakespanDistribution] = None
             if self.risk_mode in ("analytic", "both"):
+                started = time.perf_counter()
                 analytic = AnalyticMakespanDistribution(
                     work, rate, policy, segments=segments
                 )
+                self.cache.metrics.histogram("risk.analytic_seconds").observe(
+                    time.perf_counter() - started
+                )
             if self.risk_mode in ("mc", "both"):
+                started = time.perf_counter()
                 mc = self.simulator.simulate(
                     work, rate, policy, seed=seed, segments=segments
+                )
+                self.cache.metrics.histogram("risk.mc_seconds").observe(
+                    time.perf_counter() - started
                 )
             return RiskDistributions(
                 serving=analytic if analytic is not None else mc, mc=mc
@@ -716,45 +732,56 @@ class RiskAdjustedPlanner(ClusterPlanner):
             raise ValueError(f"spot must be 'both', 'only' or 'off', got {spot!r}")
         if not 0.0 <= confidence <= 1.0:
             raise ValueError(f"confidence must be in [0, 1], got {confidence}")
-        ondemand = super().plan(
-            deadline_hours=deadline_hours,
-            budget_dollars=budget_dollars,
-            **sweep_kwargs,
-        )
-        candidates: List[SpotCandidate] = []
-        excluded: List[str] = []
-        missing_spot = set()
-        for base in ondemand.candidates:
-            if spot != "only":
-                candidates.append(self._ondemand_candidate(base, deadline_hours))
-            if spot == "off":
-                continue
-            gpu_name = base.scenario.gpu_spec.name
-            if not self.catalog.has_spot(gpu_name, base.provider):
-                missing_spot.add(f"{base.provider} lists no spot tier for {gpu_name}")
-                continue
-            priced = self._spot_candidate(base, deadline_hours)
-            if isinstance(priced, str):
-                excluded.append(priced)
-            else:
-                candidates.append(priced)
-        excluded.extend(sorted(missing_spot))
-        candidates.sort(key=SpotCandidate.sort_key)
-        frontier = risk_pareto_frontier(candidates)
-        feasible = [
-            c for c in candidates
-            if c.meets(deadline_hours, budget_dollars, confidence)
-        ]
-        recommended = min(
-            feasible,
-            key=lambda c: (c.expected_dollars, c.p95_hours, c.label),
-            default=None,
-        )
-        fastest = min(
-            feasible,
-            key=lambda c: (c.p95_hours, c.expected_dollars, c.label),
-            default=None,
-        )
+        tracer = self.tracer
+        with tracer.span("planner.plan_spot", risk_mode=self.risk_mode, spot=spot):
+            ondemand = super().plan(
+                deadline_hours=deadline_hours,
+                budget_dollars=budget_dollars,
+                **sweep_kwargs,
+            )
+            with tracer.span("planner.risk") as sp:
+                candidates: List[SpotCandidate] = []
+                excluded: List[str] = []
+                missing_spot = set()
+                for base in ondemand.candidates:
+                    if spot != "only":
+                        candidates.append(
+                            self._ondemand_candidate(base, deadline_hours)
+                        )
+                    if spot == "off":
+                        continue
+                    gpu_name = base.scenario.gpu_spec.name
+                    if not self.catalog.has_spot(gpu_name, base.provider):
+                        missing_spot.add(
+                            f"{base.provider} lists no spot tier for {gpu_name}"
+                        )
+                        continue
+                    priced = self._spot_candidate(base, deadline_hours)
+                    if isinstance(priced, str):
+                        excluded.append(priced)
+                    else:
+                        candidates.append(priced)
+                excluded.extend(sorted(missing_spot))
+                sp.attributes["candidates"] = len(candidates)
+                sp.attributes["excluded"] = len(excluded)
+            with tracer.span("planner.risk_pareto") as sp:
+                candidates.sort(key=SpotCandidate.sort_key)
+                frontier = risk_pareto_frontier(candidates)
+                feasible = [
+                    c for c in candidates
+                    if c.meets(deadline_hours, budget_dollars, confidence)
+                ]
+                recommended = min(
+                    feasible,
+                    key=lambda c: (c.expected_dollars, c.p95_hours, c.label),
+                    default=None,
+                )
+                fastest = min(
+                    feasible,
+                    key=lambda c: (c.p95_hours, c.expected_dollars, c.label),
+                    default=None,
+                )
+                sp.attributes["frontier"] = len(frontier)
         return SpotPlan(
             ondemand=ondemand,
             confidence=confidence,

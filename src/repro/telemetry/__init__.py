@@ -1,0 +1,69 @@
+"""Structured observability for the planning stack.
+
+Dependency-free spans, metrics, exporters and run manifests, threaded
+through the scenario engine, both planners and the three CLIs:
+
+* :class:`Tracer` / :class:`Span` — nested timed phases with a
+  context-manager API and a process-global default (disabled until a
+  CLI's ``--telemetry`` flag turns it on), plus deterministic
+  reassembly of process-pool workers' spans;
+* :class:`MetricsRegistry` — named counters/gauges/histograms; the
+  simulation cache's ``CacheStats`` counters are stored here now, and
+  fetch/memoize latencies land in per-source histograms;
+* exporters — a JSONL event writer (``--telemetry-out``), the
+  ``--json`` payloads' flag-gated ``"telemetry"`` block, and the
+  human-readable phase tree printed under ``--telemetry``;
+* run manifests — version + args + grid digest + cache provenance +
+  per-phase wall-clock, the reproducibility record for benchmark
+  trajectories and (eventually) service request logs;
+* a schema validator (:func:`validate_event`/:func:`validate_file`)
+  shared by the tests and the CI smoke job.
+
+With every flag off the subsystem is inert: the default tracer hands
+out no-op spans, and the CLIs' output stays byte-identical to the
+pre-telemetry contract.
+"""
+
+from .cli import (
+    add_telemetry_arguments,
+    begin_telemetry,
+    finish_telemetry,
+    telemetry_enabled,
+)
+from .export import metric_events, telemetry_block, write_events
+from .manifest import build_manifest, grid_digest, repo_version
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, merge_snapshots
+from .schema import SCHEMA_VERSION, validate_event, validate_file
+from .tracer import (
+    Span,
+    Tracer,
+    default_tracer,
+    reset_default_tracer,
+    resolve_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SCHEMA_VERSION",
+    "Span",
+    "Tracer",
+    "add_telemetry_arguments",
+    "begin_telemetry",
+    "build_manifest",
+    "default_tracer",
+    "finish_telemetry",
+    "grid_digest",
+    "merge_snapshots",
+    "metric_events",
+    "repo_version",
+    "reset_default_tracer",
+    "resolve_tracer",
+    "telemetry_block",
+    "telemetry_enabled",
+    "validate_event",
+    "validate_file",
+    "write_events",
+]

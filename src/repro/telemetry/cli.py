@@ -1,0 +1,104 @@
+"""The CLIs' shared telemetry wiring.
+
+Every traced CLI (``repro.experiments.report``, ``repro.cluster.plan``,
+``repro.spot.plan``) speaks the same two flags:
+
+* ``--telemetry`` — enable tracing and print the human-readable phase
+  tree (to stderr, so ``--json`` stdout stays machine-parseable);
+* ``--telemetry-out FILE`` — enable tracing and additionally write the
+  JSONL event log (spans, metrics, manifest) to ``FILE``.
+
+Either flag also unlocks the ``"telemetry"`` block in the CLI's
+``--json`` payload; with both flags absent the CLIs' output is
+byte-identical to the pre-telemetry contract — the golden-file tests
+pin that down.
+
+Usage in a CLI ``main``::
+
+    add_telemetry_arguments(parser)
+    ...
+    tracer = begin_telemetry(args)          # None when disabled
+    ... run the plan ...
+    block = finish_telemetry(args, "repro.spot.plan", cache, grid=grid)
+    if block is not None and args.as_json:
+        payload["telemetry"] = block
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, Optional
+
+from .export import telemetry_block, write_events
+from .manifest import build_manifest, grid_digest
+from .metrics import merge_snapshots
+from .tracer import Tracer, default_tracer
+
+
+def add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    """The observability knobs every traced CLI exposes."""
+    parser.add_argument("--telemetry", action="store_true",
+                        help="trace the run and print a per-phase wall-clock "
+                             "tree to stderr (--json output gains a 'telemetry' "
+                             "block; without telemetry flags output is "
+                             "byte-identical to untraced runs)")
+    parser.add_argument("--telemetry-out", default=None, metavar="FILE",
+                        help="also write the run's span/metric/manifest events "
+                             "as JSONL to FILE (implies tracing)")
+
+
+def telemetry_enabled(args: argparse.Namespace) -> bool:
+    return bool(getattr(args, "telemetry", False) or getattr(args, "telemetry_out", None))
+
+
+def begin_telemetry(args: argparse.Namespace) -> Optional[Tracer]:
+    """Enable the process-global tracer when a telemetry flag asked for
+    it; returns the tracer, or ``None`` when the run is untraced."""
+    if not telemetry_enabled(args):
+        return None
+    return default_tracer().configure(enabled=True)
+
+
+def finish_telemetry(
+    args: argparse.Namespace,
+    command: str,
+    cache,
+    grid=None,
+    stream=None,
+) -> Optional[Dict[str, object]]:
+    """Close out a traced run: build the manifest from the cache's own
+    accounting, write the JSONL log (``--telemetry-out``), print the
+    phase tree (``--telemetry``), and return the ``--json`` telemetry
+    block — or ``None`` when telemetry was never enabled.
+
+    ``cache`` is the run's :class:`SimulationCache`; its ``stats()`` are
+    the manifest's cache block (exactly), and its registry — plus the
+    attached store's, when persistence was on — supplies the metrics.
+    ``grid`` is the swept scenario grid (or ``None`` for runs without a
+    single grid); its digest is only computed here, after the enabled
+    check, so untraced runs never pay for it.
+    """
+    if not telemetry_enabled(args):
+        return None
+    tracer = default_tracer()
+    grid = grid_digest(grid) if grid is not None else None
+    snapshots = [cache.metrics.snapshot()]
+    store = getattr(cache, "store", None)
+    if store is not None and getattr(store, "metrics", None) is not None:
+        snapshots.append(store.metrics.snapshot())
+    metrics_snapshot = merge_snapshots(*snapshots)
+    manifest = build_manifest(
+        command,
+        vars(args),
+        tracer,
+        cache.stats(),
+        grid=grid,
+    )
+    if getattr(args, "telemetry_out", None):
+        write_events(args.telemetry_out, tracer, metrics_snapshot, manifest)
+    if getattr(args, "telemetry", False):
+        out = stream if stream is not None else sys.stderr
+        print(f"== telemetry: {command} ({manifest['version']}) ==", file=out)
+        print(tracer.render_tree(), file=out)
+    return telemetry_block(tracer, metrics_snapshot, manifest)

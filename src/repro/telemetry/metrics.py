@@ -1,0 +1,193 @@
+"""A registry of named counters, gauges and latency histograms.
+
+The engine's accounting used to live in ad-hoc integers inside
+:class:`~repro.scenarios.cache.SimulationCache`; this module makes those
+counters first-class, shareable metrics without changing the ``stats()``
+API: the cache now *stores* its ``hits``/``disk_hits``/``misses``/
+``simulations``/``risk_hits``/``risk_misses`` in registry counters and
+``CacheStats`` is a snapshot of them.
+
+Three instrument kinds, all thread-safe:
+
+* :class:`Counter` — monotonically increasing event count;
+* :class:`Gauge` — a last-write-wins level;
+* :class:`Histogram` — a streaming summary (count/sum/min/max) of
+  observations, used for per-source fetch latencies. No buckets: the
+  consumers (manifests, benchmarks) want totals and extremes, and a
+  bucketless summary keeps ``observe`` to a few adds in the hot path.
+
+Registries are cheap; each :class:`SimulationCache` and
+:class:`~repro.scenarios.store.DiskTraceStore` owns one, and exporters
+merge snapshots. Instrument creation is get-or-create by name, so call
+sites can re-resolve instead of caching handles.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+
+class Counter:
+    """A monotonically increasing count of events."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up; got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A last-write-wins level (e.g. resident cache entries)."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value: float = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def reset(self) -> None:
+        self.set(0.0)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """A streaming count/sum/min/max summary of observations."""
+
+    __slots__ = ("name", "_lock", "_count", "_sum", "_min", "_max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def reset(self) -> None:
+        with self._lock:
+            self._count = 0
+            self._sum = 0.0
+            self._min = None
+            self._max = None
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "type": "histogram",
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min,
+                "max": self._max,
+            }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, snapshotted as a dict."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[str, object] = {}
+
+    def _get(self, name: str, cls):
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = cls(name)
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, cls):
+                raise TypeError(
+                    f"metric {name!r} is a {type(instrument).__name__}, "
+                    f"not a {cls.__name__}"
+                )
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def names(self) -> list:
+        with self._lock:
+            return sorted(self._instruments)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Every instrument's state, keyed by name in sorted order —
+        the exporters' (and manifests') view of the registry."""
+        with self._lock:
+            instruments = list(self._instruments.items())
+        return {name: inst.snapshot() for name, inst in sorted(instruments)}
+
+    def reset(self) -> None:
+        """Zero every instrument (names survive; handles stay valid)."""
+        with self._lock:
+            instruments = list(self._instruments.values())
+        for instrument in instruments:
+            instrument.reset()
+
+
+def merge_snapshots(*snapshots: Dict[str, Dict[str, object]]) -> Dict[str, Dict[str, object]]:
+    """Combine registry snapshots (cache + store + ad-hoc) into one
+    name-sorted mapping. Later snapshots win on (unexpected) name
+    collisions — registries are expected to use disjoint prefixes
+    (``cache.*``, ``store.*``, ``risk.*``)."""
+    merged: Dict[str, Dict[str, object]] = {}
+    for snapshot in snapshots:
+        merged.update(snapshot)
+    return dict(sorted(merged.items()))

@@ -1,0 +1,142 @@
+"""The JSONL event schema and its validator.
+
+Every line of a ``--telemetry-out`` file is one JSON object with a
+``type`` of ``"span"``, ``"metric"`` or ``"manifest"``:
+
+* ``span`` — ``{"type", "name", "id", "parent", "start_s",
+  "duration_s", "attrs"}``: one finished traced region. ``parent`` is
+  another span's ``id`` or ``null`` for roots; ``start_s`` is monotonic
+  seconds relative to the tracer epoch.
+* ``metric`` — ``{"type", "kind", "name", ...}`` where ``kind`` is
+  ``"counter"``/``"gauge"`` (plus ``"value"``) or ``"histogram"`` (plus
+  ``"count"``, ``"sum"``, ``"min"``, ``"max"``; min/max are ``null``
+  when nothing was observed).
+* ``manifest`` — the run manifest (see
+  :mod:`repro.telemetry.manifest`): ``{"type", "schema", "version",
+  "command", "args", "grid_digest", "cache", "phases"}``.
+
+The validator is dependency-free on purpose: the same
+:func:`validate_event`/:func:`validate_file` pair is used by
+``tests/test_telemetry.py`` and by the CI smoke job that replays a
+``repro.spot.plan --telemetry-out`` run, so the schema documented here
+is the schema actually enforced.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Dict, Union
+
+SCHEMA_VERSION = 1
+
+EVENT_TYPES = ("span", "metric", "manifest")
+METRIC_KINDS = ("counter", "gauge", "histogram")
+
+_MANIFEST_KEYS = ("schema", "version", "command", "args", "grid_digest", "cache", "phases")
+
+
+def _fail(message: str) -> None:
+    raise ValueError(f"invalid telemetry event: {message}")
+
+
+def _require(event: Dict, key: str, types, allow_none: bool = False):
+    if key not in event:
+        _fail(f"missing key {key!r} in {sorted(event)}")
+    value = event[key]
+    if value is None:
+        if not allow_none:
+            _fail(f"key {key!r} must not be null")
+        return None
+    if not isinstance(value, types):
+        _fail(f"key {key!r} has type {type(value).__name__}, expected {types}")
+    # bool is an int subclass; reject it where a number is expected.
+    if isinstance(value, bool) and bool not in (types if isinstance(types, tuple) else (types,)):
+        _fail(f"key {key!r} is a bool, expected {types}")
+    return value
+
+
+def _finite(event: Dict, key: str, allow_none: bool = False) -> None:
+    value = _require(event, key, (int, float), allow_none=allow_none)
+    if value is not None and not math.isfinite(value):
+        _fail(f"key {key!r} must be finite, got {value}")
+
+
+def validate_event(event: object) -> str:
+    """Check one decoded JSONL event against the schema; returns the
+    event type or raises ``ValueError`` with the first violation."""
+    if not isinstance(event, dict):
+        _fail(f"event must be an object, got {type(event).__name__}")
+    kind = _require(event, "type", str)
+    if kind == "span":
+        _require(event, "name", str)
+        span_id = _require(event, "id", int)
+        if span_id < 1:
+            _fail(f"span id must be >= 1, got {span_id}")
+        _require(event, "parent", int, allow_none=True)
+        _finite(event, "start_s")
+        _finite(event, "duration_s")
+        if event["duration_s"] < 0:
+            _fail(f"span duration must be >= 0, got {event['duration_s']}")
+        _require(event, "attrs", dict)
+    elif kind == "metric":
+        _require(event, "name", str)
+        metric_kind = _require(event, "kind", str)
+        if metric_kind not in METRIC_KINDS:
+            _fail(f"metric kind {metric_kind!r} not in {METRIC_KINDS}")
+        if metric_kind == "histogram":
+            count = _require(event, "count", int)
+            if count < 0:
+                _fail(f"histogram count must be >= 0, got {count}")
+            _finite(event, "sum")
+            _finite(event, "min", allow_none=True)
+            _finite(event, "max", allow_none=True)
+            if count == 0 and (event["min"] is not None or event["max"] is not None):
+                _fail("empty histogram must have null min/max")
+            if count > 0 and (event["min"] is None or event["max"] is None):
+                _fail("non-empty histogram must carry min/max")
+        else:
+            _finite(event, "value")
+    elif kind == "manifest":
+        for key in _MANIFEST_KEYS:
+            if key not in event:
+                _fail(f"manifest missing key {key!r}")
+        if event["schema"] != SCHEMA_VERSION:
+            _fail(f"manifest schema {event['schema']!r} != {SCHEMA_VERSION}")
+        _require(event, "version", str)
+        _require(event, "command", str)
+        _require(event, "args", dict)
+        _require(event, "grid_digest", str, allow_none=True)
+        cache = _require(event, "cache", dict)
+        for counter in ("hits", "disk_hits", "misses", "simulations"):
+            if not isinstance(cache.get(counter), int):
+                _fail(f"manifest cache block missing integer {counter!r}")
+        phases = _require(event, "phases", dict)
+        for name, seconds in phases.items():
+            if not isinstance(seconds, (int, float)) or isinstance(seconds, bool):
+                _fail(f"phase {name!r} wall-clock must be a number")
+    else:
+        _fail(f"unknown event type {kind!r} (expected one of {EVENT_TYPES})")
+    return kind
+
+
+def validate_file(path: Union[str, Path]) -> Dict[str, int]:
+    """Validate every line of a ``--telemetry-out`` JSONL file. Returns
+    per-type event counts; raises ``ValueError`` (with the line number)
+    on the first malformed line."""
+    counts = {kind: 0 for kind in EVENT_TYPES}
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                _fail(f"line {lineno}: blank line")
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                _fail(f"line {lineno}: not JSON ({exc})")
+            try:
+                counts[validate_event(event)] += 1
+            except ValueError as exc:
+                raise ValueError(f"line {lineno}: {exc}") from None
+    return counts
