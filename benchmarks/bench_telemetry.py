@@ -12,6 +12,13 @@ tracer + JSONL export, and asserts the enabled overhead stays under 5%.
 Minimum-of-several-repetitions on both sides keeps scheduler noise out
 of the ratio.
 
+The end-of-run costs — the JSONL export *and* the run-store ingest a
+``--run-store`` run pays — happen once per run, not per plan, so they
+are measured separately (``export_seconds``,
+``runstore_ingest_seconds``) rather than folded into the per-plan
+ratio; the benchmark still asserts the ingest landed exactly one
+indexed record.
+
 Writes ``BENCH_telemetry.json`` at the repo root so the perf trajectory
 has a tracked data point.
 
@@ -27,7 +34,7 @@ from pathlib import Path
 
 from repro.cluster import ClusterPlanner
 from repro.scenarios import SimulationCache
-from repro.telemetry import Tracer, build_manifest, write_events
+from repro.telemetry import RunStore, Tracer, build_manifest, write_events
 
 ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_telemetry.json"
 
@@ -79,6 +86,12 @@ def measure() -> dict:
         events = write_events(Path(tmp) / "events.jsonl", tracer,
                               on_cache.metrics.snapshot(), manifest)
         export_seconds = time.perf_counter() - start
+        # ...and the --run-store leg: validate + index the same run.
+        store = RunStore(Path(tmp) / "runstore")
+        start = time.perf_counter()
+        store.ingest(Path(tmp) / "events.jsonl", timestamp=time.time())
+        runstore_ingest_seconds = time.perf_counter() - start
+        runs_recorded = len(store)
 
     overhead = on_seconds / off_seconds - 1.0 if off_seconds > 0 else 0.0
     payload = {
@@ -91,6 +104,8 @@ def measure() -> dict:
         "spans_recorded": len(tracer),
         "events_exported": events,
         "export_seconds": export_seconds,
+        "runstore_ingest_seconds": runstore_ingest_seconds,
+        "runs_recorded": runs_recorded,
     }
     ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
     return payload
@@ -104,6 +119,8 @@ def test_telemetry_overhead_under_bar():
     # Tracing recorded the full phase tree on every repetition...
     assert payload["spans_recorded"] > 0
     assert payload["events_exported"] > payload["spans_recorded"]
+    # ...the run-store write validated and indexed exactly one run...
+    assert payload["runs_recorded"] == 1
     # ...and the acceptance bar: the traced warm plan costs < 5% extra.
     assert payload["overhead_fraction"] < MAX_OVERHEAD, payload
 

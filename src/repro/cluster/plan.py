@@ -14,7 +14,10 @@ Mirrors ``repro.experiments.report``: ``--json`` for machine-readable
 output, ``--jobs``/``--executor`` for parallel sweeps (order-independent
 by design — the plan is byte-identical at any job count and executor),
 ``--cache-dir`` (or ``$REPRO_CACHE_DIR``) for the disk-backed trace store
-that lets a plan answer in seconds without re-simulating the world. Model
+that lets a plan answer in seconds without re-simulating the world, and
+the shared telemetry flags (``--telemetry``, ``--telemetry-out FILE``,
+``--run-store DIR`` / ``$REPRO_RUN_STORE`` — the latter feeds
+``python -m repro.telemetry.analyze``/``compare``). Model
 and GPU names are resolved case-insensitively with unique-prefix
 matching, so ``--model mixtral --gpu a40`` means the paper-scale Mixtral
 on the A40.

@@ -18,6 +18,11 @@ same process performs zero redundant ``simulate_step`` calls — and with
 so a second report *process* starts warm too. ``--executor process``
 fans the sweeps over a process pool whose workers share that store; the
 report is byte-identical at any job count and executor.
+
+``--telemetry``/``--telemetry-out``/``--run-store`` trace the run
+(phase tree, JSONL event log, append-only run store for
+``python -m repro.telemetry.analyze``/``compare``); see
+:mod:`repro.telemetry.cli` for the shared contract.
 """
 
 from __future__ import annotations

@@ -7,7 +7,10 @@ Usage::
     python -m repro.spot.plan --model blackmamba --spot only --budget 50 --jobs 4
 
 Mirrors ``python -m repro.cluster.plan`` (same model/GPU resolution, same
-``--json``/``--jobs``/``--executor``/``--cache-dir`` contract — output is
+``--json``/``--jobs``/``--executor``/``--cache-dir`` contract plus the
+telemetry flags ``--telemetry``/``--telemetry-out``/``--run-store``,
+the last feeding the run store that
+``python -m repro.telemetry.analyze``/``compare`` consume — output is
 byte-identical at any job count and executor, Monte Carlo seeds included,
 and a pre-populated trace store makes the plan simulate nothing) and adds
 the risk knobs: ``--spot``

@@ -1,17 +1,21 @@
 """The CLIs' shared telemetry wiring.
 
 Every traced CLI (``repro.experiments.report``, ``repro.cluster.plan``,
-``repro.spot.plan``) speaks the same two flags:
+``repro.spot.plan``) speaks the same three flags:
 
 * ``--telemetry`` — enable tracing and print the human-readable phase
   tree (to stderr, so ``--json`` stdout stays machine-parseable);
 * ``--telemetry-out FILE`` — enable tracing and additionally write the
-  JSONL event log (spans, metrics, manifest) to ``FILE``.
+  JSONL event log (spans, metrics, manifest) to ``FILE``;
+* ``--run-store DIR`` — enable tracing and ingest the run's events into
+  the append-only run store at ``DIR`` (resolution mirrors
+  ``--cache-dir``: the flag beats ``$REPRO_RUN_STORE`` beats off), so
+  ``python -m repro.telemetry.analyze``/``compare`` can consume it.
 
-Either flag also unlocks the ``"telemetry"`` block in the CLI's
-``--json`` payload; with both flags absent the CLIs' output is
-byte-identical to the pre-telemetry contract — the golden-file tests
-pin that down.
+Any of these also unlocks the ``"telemetry"`` block in the CLI's
+``--json`` payload; with all of them absent (and ``$REPRO_RUN_STORE``
+unset) the CLIs' output is byte-identical to the pre-telemetry
+contract — the golden-file tests pin that down.
 
 Usage in a CLI ``main``::
 
@@ -28,11 +32,13 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Dict, Optional
 
-from .export import telemetry_block, write_events
+from .export import metric_events, telemetry_block, write_events
 from .manifest import build_manifest, grid_digest
 from .metrics import merge_snapshots
+from .runstore import resolve_run_store
 from .tracer import Tracer, default_tracer
 
 
@@ -46,10 +52,19 @@ def add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--telemetry-out", default=None, metavar="FILE",
                         help="also write the run's span/metric/manifest events "
                              "as JSONL to FILE (implies tracing)")
+    parser.add_argument("--run-store", default=None, metavar="DIR",
+                        help="ingest the run's telemetry into the append-only "
+                             "run store at DIR for repro.telemetry.analyze/"
+                             "compare (implies tracing; default: "
+                             "$REPRO_RUN_STORE if set, else no recording)")
 
 
 def telemetry_enabled(args: argparse.Namespace) -> bool:
-    return bool(getattr(args, "telemetry", False) or getattr(args, "telemetry_out", None))
+    return bool(
+        getattr(args, "telemetry", False)
+        or getattr(args, "telemetry_out", None)
+        or resolve_run_store(getattr(args, "run_store", None)) is not None
+    )
 
 
 def begin_telemetry(args: argparse.Namespace) -> Optional[Tracer]:
@@ -68,9 +83,11 @@ def finish_telemetry(
     stream=None,
 ) -> Optional[Dict[str, object]]:
     """Close out a traced run: build the manifest from the cache's own
-    accounting, write the JSONL log (``--telemetry-out``), print the
-    phase tree (``--telemetry``), and return the ``--json`` telemetry
-    block — or ``None`` when telemetry was never enabled.
+    accounting, write the JSONL log (``--telemetry-out``), ingest the
+    run into the run store (``--run-store`` / ``$REPRO_RUN_STORE``,
+    stamped with the wall-clock at finish), print the phase tree
+    (``--telemetry``), and return the ``--json`` telemetry block — or
+    ``None`` when telemetry was never enabled.
 
     ``cache`` is the run's :class:`SimulationCache`; its ``stats()`` are
     the manifest's cache block (exactly), and its registry — plus the
@@ -97,6 +114,12 @@ def finish_telemetry(
     )
     if getattr(args, "telemetry_out", None):
         write_events(args.telemetry_out, tracer, metrics_snapshot, manifest)
+    run_store = resolve_run_store(getattr(args, "run_store", None))
+    if run_store is not None:
+        events = list(tracer.export())
+        events.extend(metric_events(metrics_snapshot))
+        events.append(manifest)
+        run_store.ingest_events(events, timestamp=time.time())
     if getattr(args, "telemetry", False):
         out = stream if stream is not None else sys.stderr
         print(f"== telemetry: {command} ({manifest['version']}) ==", file=out)

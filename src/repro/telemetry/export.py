@@ -30,6 +30,9 @@ def metric_events(snapshot: Dict[str, Dict[str, object]]) -> List[Dict[str, obje
             event.update(
                 count=data["count"], sum=data["sum"], min=data["min"], max=data["max"]
             )
+            buckets = data.get("buckets")
+            if buckets is not None:
+                event["buckets"] = [list(pair) for pair in buckets]
         else:
             event["value"] = data["value"]
         events.append(event)

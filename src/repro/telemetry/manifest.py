@@ -2,7 +2,9 @@
 
 A manifest records everything needed to say *what produced these
 numbers*: the repo version (``git describe``, falling back to the commit
-hash, falling back to ``"unknown"`` outside a checkout), the resolved
+hash, falling back to the explicit ``"unknown"`` outside a checkout —
+with a ``version_source`` field saying which of ``git``/``unknown``
+answered), the resolved
 CLI arguments, a digest of the scenario grid that was swept, the cache's
 provenance counters (exactly :meth:`SimulationCache.stats`, so a
 manifest can be cross-checked against the engine's own accounting), and
@@ -15,33 +17,46 @@ from __future__ import annotations
 import hashlib
 import subprocess
 from pathlib import Path
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, Optional, Tuple
 
 from .schema import SCHEMA_VERSION
 from .tracer import Tracer
 
 _REPO_ROOT = Path(__file__).resolve().parents[3]
-_version_cache: Optional[str] = None
+_version_cache: Optional[Tuple[str, str]] = None
+
+VERSION_FALLBACK = "unknown"
 
 
-def repo_version() -> str:
-    """``git describe --always --dirty`` for the repo this module was
-    imported from, cached per process; ``"unknown"`` when git (or the
-    checkout) is unavailable — manifests must never fail a run."""
+def version_info() -> Tuple[str, str]:
+    """``(version, source)`` for the repo this module was imported
+    from, cached per process. ``source`` is ``"git"`` when ``git
+    describe --always --dirty`` answered, else ``"unknown"`` with the
+    explicit :data:`VERSION_FALLBACK` version — the fallback is a
+    first-class value, never a silent one, because manifests must never
+    fail a run (no git binary, no checkout, timeouts all land here)."""
     global _version_cache
     if _version_cache is None:
         try:
-            _version_cache = subprocess.run(
+            described = subprocess.run(
                 ["git", "describe", "--always", "--dirty"],
                 cwd=_REPO_ROOT,
                 capture_output=True,
                 text=True,
                 timeout=10,
                 check=True,
-            ).stdout.strip() or "unknown"
+            ).stdout.strip()
+            _version_cache = (
+                (described, "git") if described else (VERSION_FALLBACK, "unknown")
+            )
         except Exception:
-            _version_cache = "unknown"
+            _version_cache = (VERSION_FALLBACK, "unknown")
     return _version_cache
+
+
+def repo_version() -> str:
+    """The version half of :func:`version_info` (back-compat spelling)."""
+    return version_info()[0]
 
 
 def grid_digest(scenarios: Iterable) -> Optional[str]:
@@ -81,10 +96,12 @@ def build_manifest(
     ``grid`` is a precomputed :func:`grid_digest` (or ``None`` for runs
     without a single sweep grid, e.g. the experiment report).
     """
+    version, version_source = version_info()
     return {
         "type": "manifest",
         "schema": SCHEMA_VERSION,
-        "version": repo_version(),
+        "version": version,
+        "version_source": version_source,
         "command": command,
         "args": {key: _json_arg(value) for key, value in sorted(args.items())},
         "grid_digest": grid,

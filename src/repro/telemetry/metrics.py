@@ -11,10 +11,13 @@ Three instrument kinds, all thread-safe:
 
 * :class:`Counter` — monotonically increasing event count;
 * :class:`Gauge` — a last-write-wins level;
-* :class:`Histogram` — a streaming summary (count/sum/min/max) of
-  observations, used for per-source fetch latencies. No buckets: the
-  consumers (manifests, benchmarks) want totals and extremes, and a
-  bucketless summary keeps ``observe`` to a few adds in the hot path.
+* :class:`Histogram` — a streaming summary (count/sum/min/max plus
+  fixed log-spaced buckets) of observations, used for per-source fetch
+  latencies. The buckets are bounded memory by construction — 4 per
+  decade over 1e-7..1e3 seconds plus one overflow slot — so ``observe``
+  stays a bisect and a few adds in the hot path, while the analyzer can
+  estimate p50/p95 from any exported snapshot
+  (:func:`quantile_from_buckets`).
 
 Registries are cheap; each :class:`SimulationCache` and
 :class:`~repro.scenarios.store.DiskTraceStore` owns one, and exporters
@@ -25,7 +28,20 @@ sites can re-resolve instead of caching handles.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Optional
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+# Histogram bucket scale: fixed log-spaced upper bounds, 4 per decade
+# from 1e-7 s to 1e3 s (41 bounds + 1 overflow slot = bounded memory).
+# The scale is part of the export contract: a snapshot's sparse
+# ``buckets`` pairs carry explicit upper bounds, and consumers recover
+# each bucket's lower edge as ``upper / BUCKET_STEP``.
+BUCKETS_PER_DECADE = 4
+BUCKET_STEP = 10.0 ** (1.0 / BUCKETS_PER_DECADE)
+BUCKET_BOUNDS: Tuple[float, ...] = tuple(
+    10.0 ** (k / BUCKETS_PER_DECADE)
+    for k in range(-7 * BUCKETS_PER_DECADE, 3 * BUCKETS_PER_DECADE + 1)
+)
 
 
 class Counter:
@@ -84,9 +100,10 @@ class Gauge:
 
 
 class Histogram:
-    """A streaming count/sum/min/max summary of observations."""
+    """A streaming count/sum/min/max summary of observations, plus
+    fixed log-spaced bucket counts for quantile estimation."""
 
-    __slots__ = ("name", "_lock", "_count", "_sum", "_min", "_max")
+    __slots__ = ("name", "_lock", "_count", "_sum", "_min", "_max", "_buckets")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -95,9 +112,12 @@ class Histogram:
         self._sum = 0.0
         self._min: Optional[float] = None
         self._max: Optional[float] = None
+        # One slot per bound plus the overflow slot (> BUCKET_BOUNDS[-1]).
+        self._buckets = [0] * (len(BUCKET_BOUNDS) + 1)
 
     def observe(self, value: float) -> None:
         value = float(value)
+        index = bisect_left(BUCKET_BOUNDS, value)  # first bound >= value
         with self._lock:
             self._count += 1
             self._sum += value
@@ -105,6 +125,7 @@ class Histogram:
                 self._min = value
             if self._max is None or value > self._max:
                 self._max = value
+            self._buckets[index] += 1
 
     @property
     def count(self) -> int:
@@ -122,15 +143,33 @@ class Histogram:
             self._sum = 0.0
             self._min = None
             self._max = None
+            self._buckets = [0] * (len(BUCKET_BOUNDS) + 1)
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimated ``q``-quantile (``None`` when empty) — see
+        :func:`quantile_from_buckets`."""
+        snap = self.snapshot()
+        return quantile_from_buckets(
+            snap["buckets"], snap["count"], snap["min"], snap["max"], q
+        )
 
     def snapshot(self) -> Dict[str, object]:
+        """count/sum/min/max plus sparse ``buckets``: ``[upper, count]``
+        pairs for every non-empty bucket, in ascending bound order, the
+        overflow slot last with an upper bound of ``None``."""
         with self._lock:
+            buckets: List[List[object]] = [
+                [BUCKET_BOUNDS[i] if i < len(BUCKET_BOUNDS) else None, n]
+                for i, n in enumerate(self._buckets)
+                if n
+            ]
             return {
                 "type": "histogram",
                 "count": self._count,
                 "sum": self._sum,
                 "min": self._min,
                 "max": self._max,
+                "buckets": buckets,
             }
 
 
@@ -180,6 +219,55 @@ class MetricsRegistry:
             instruments = list(self._instruments.values())
         for instrument in instruments:
             instrument.reset()
+
+
+def quantile_from_buckets(
+    buckets: Sequence[Sequence[object]],
+    count: int,
+    minimum: Optional[float],
+    maximum: Optional[float],
+    q: float,
+) -> Optional[float]:
+    """Estimate the ``q``-quantile of a histogram from its exported
+    sparse ``[upper_bound, count]`` bucket pairs.
+
+    The estimate interpolates linearly inside the bucket holding the
+    target rank, taking the bucket's lower edge as ``upper /
+    BUCKET_STEP`` (the fixed log scale) and the overflow bucket's span
+    as ``(BUCKET_BOUNDS[-1], maximum]``; the exact ``minimum`` /
+    ``maximum`` clamp the result, so a single-observation histogram
+    reports that observation exactly. Returns ``None`` for an empty
+    histogram or a snapshot without buckets (pre-bucket schema v1
+    files stay readable — they just have no quantiles)."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if not count or not buckets:
+        return None
+    rank = q * count
+    seen = 0
+    value: Optional[float] = None
+    for bound, n in buckets:
+        n = int(n)
+        if n <= 0:
+            continue
+        if seen + n >= rank:
+            if bound is None:  # overflow: spans (last bound, max]
+                lower = BUCKET_BOUNDS[-1]
+                upper = maximum if maximum is not None else lower
+            else:
+                upper = float(bound)
+                lower = upper / BUCKET_STEP
+            fraction = min(1.0, max(0.0, (rank - seen) / n))
+            value = lower + (upper - lower) * fraction
+            break
+        seen += n
+    if value is None:  # every bucket exhausted (rank == count edge)
+        value = maximum
+    if minimum is not None and value is not None:
+        value = max(value, minimum)
+    if maximum is not None and value is not None:
+        value = min(value, maximum)
+    return value
 
 
 def merge_snapshots(*snapshots: Dict[str, Dict[str, object]]) -> Dict[str, Dict[str, object]]:

@@ -176,8 +176,11 @@ class TestMetrics:
         for value in (2.0, 0.5, 1.0):
             hist.observe(value)
         snap = hist.snapshot()
+        buckets = snap.pop("buckets")
         assert snap == {"type": "histogram", "count": 3, "sum": 3.5,
                         "min": 0.5, "max": 2.0}
+        # The bounded-memory buckets account for every observation.
+        assert sum(count for _, count in buckets) == 3
         assert hist.mean == pytest.approx(3.5 / 3)
 
     def test_empty_histogram_has_null_extremes(self):
@@ -357,6 +360,39 @@ class TestDeterminism:
         assert thread_shape == serial_shape
         assert thread_stats == serial_stats
         assert thread_hist == serial_hist
+
+    def warm_run_events(self, jobs):
+        """A full event log for a *warm* traced sweep at a job count:
+        the cache is pre-populated untraced, so every traced phase is
+        pure bookkeeping — well under the compare gate's noise floor."""
+        cache = SimulationCache()
+        SweepRunner(cache=cache, jobs=jobs, executor="thread").run(GRID)
+        tracer = Tracer(enabled=True)
+        runner = SweepRunner(cache=cache, jobs=jobs, executor="thread",
+                             tracer=tracer)
+        runner.run(GRID)
+        manifest = build_manifest("sweep", {"jobs": jobs}, tracer,
+                                  cache.stats(), grid=grid_digest(GRID))
+        events = list(tracer.export())
+        events.extend(metric_events(cache.metrics.snapshot()))
+        events.append(manifest)
+        return events
+
+    def test_compare_verdict_stable_across_jobs(self):
+        """The regression gate must not flip with --jobs: warm phases
+        sit below the absolute noise floor, and the engine counters are
+        jobs-independent by the determinism contract, so jobs=1 vs
+        jobs=4 compares 'ok' in both directions with zero counter
+        deltas."""
+        from repro.telemetry.compare import compare_runs
+
+        serial = self.warm_run_events(1)
+        pooled = self.warm_run_events(4)
+        for baseline, candidate in ((serial, pooled), (pooled, serial)):
+            result = compare_runs(baseline, candidate)
+            assert result["verdict"] == "ok"
+            assert result["regressions"] == []
+            assert result["counters"] == []
 
 
 # ---------------------------------------------------------------------------
