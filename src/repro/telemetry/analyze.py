@@ -89,21 +89,24 @@ def build_span_forest(span_events: Sequence[Dict[str, object]]) -> List[SpanNode
     """Rebuild the span tree(s) from flat events via the parent links;
     roots (and every child list) stay in event order, which is start
     order for tracer exports. Spans referencing an unknown parent
-    become roots rather than vanishing."""
+    become roots rather than vanishing; the schema does not force ids
+    unique, so events reusing a seen id are dropped (first wins) rather
+    than double-counted."""
     nodes: Dict[int, SpanNode] = {}
     for event in span_events:
-        node = SpanNode(
+        span_id = int(event["id"])
+        if span_id in nodes:
+            continue
+        nodes[span_id] = SpanNode(
             name=str(event["name"]),
-            span_id=int(event["id"]),
+            span_id=span_id,
             parent_id=event.get("parent"),
             start_s=float(event.get("start_s", 0.0)),
             duration_s=float(event.get("duration_s") or 0.0),
             attrs=dict(event.get("attrs") or {}),
         )
-        nodes[node.span_id] = node
     roots: List[SpanNode] = []
-    for event in span_events:
-        node = nodes[int(event["id"])]
+    for node in nodes.values():
         parent = nodes.get(node.parent_id) if node.parent_id is not None else None
         if parent is None or parent is node:
             roots.append(node)
@@ -147,26 +150,29 @@ def self_time_table(roots: Sequence[SpanNode]) -> List[Dict[str, object]]:
 def critical_path(roots: Sequence[SpanNode]) -> List[SpanNode]:
     """The root-to-leaf chain with the largest cumulative duration,
     computed by dynamic programming over the forest (a greedy descent
-    can miss a deep expensive chain hiding under a cheap child). Empty
-    forest -> empty path."""
+    can miss a deep expensive chain hiding under a cheap child). The
+    post-order walk is iterative, so 1000+-deep span chains don't hit
+    the interpreter recursion limit. Empty forest -> empty path."""
     best: Dict[int, Tuple[float, List[SpanNode]]] = {}
-
-    def solve(node: SpanNode) -> Tuple[float, List[SpanNode]]:
-        cached = best.get(node.span_id)
-        if cached is not None:
-            return cached
-        tail_cost, tail = 0.0, []
-        for child in node.children:
-            cost, path = solve(child)
-            if cost > tail_cost:
-                tail_cost, tail = cost, path
-        result = (node.duration_s + tail_cost, [node] + tail)
-        best[node.span_id] = result
-        return result
-
+    for root in roots:
+        stack: List[Tuple[SpanNode, bool]] = [(root, False)]
+        while stack:
+            node, ready = stack.pop()
+            if node.span_id in best:
+                continue
+            if not ready:
+                stack.append((node, True))
+                stack.extend((child, False) for child in node.children)
+                continue
+            tail_cost, tail = 0.0, []
+            for child in node.children:
+                cost, path = best[child.span_id]
+                if cost > tail_cost:
+                    tail_cost, tail = cost, path
+            best[node.span_id] = (node.duration_s + tail_cost, [node] + tail)
     top_cost, top_path = 0.0, []
     for root in roots:
-        cost, path = solve(root)
+        cost, path = best[root.span_id]
         if cost > top_cost:
             top_cost, top_path = cost, path
     return top_path

@@ -196,7 +196,10 @@ def _resolve_baseline(
 ):
     """Baseline events for ``--baseline``. A plain ``latest`` excludes
     the candidate itself and prefers records sharing the candidate's
-    command, so back-to-back ingests diff newest-vs-previous."""
+    command, so back-to-back ingests diff newest-vs-previous. The
+    candidate is excluded by run id *and* by event content — a file-path
+    candidate carries the path as its label, so only content equality
+    catches the stored copy of the same run."""
     if ref == "latest":
         if store is None:
             raise ValueError(
@@ -206,13 +209,14 @@ def _resolve_baseline(
         command = (manifest or {}).get("command")
         records = [r for r in store.records() if r.run_id != candidate_label]
         matching = [r for r in records if command and r.command == command]
-        pool = matching or records
-        if not pool:
-            raise ValueError(
-                f"run store {store.root} has no baseline run other than the candidate"
-            )
-        record = pool[-1]
-        return record.run_id, store.load(record)
+        candidate_snapshot = list(candidate_events)
+        for record in reversed(matching or records):
+            events = store.load(record)
+            if events != candidate_snapshot:
+                return record.run_id, events
+        raise ValueError(
+            f"run store {store.root} has no baseline run other than the candidate"
+        )
     return load_run(ref, store=store)
 
 

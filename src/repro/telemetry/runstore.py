@@ -182,8 +182,13 @@ class RunStore:
             path=f"{RUNS_DIR}/{run_id}.jsonl",
             events=len(events),
         )
+        # Idempotency is O(1): the events file is written atomically
+        # under the run id, so its existence proves a prior ingest of
+        # the same run — no index scan, and a lost race at worst
+        # duplicates an index line, which records() dedupes.
+        known = (self.root / record.path).exists()
         self._write_events(record, events)
-        if not any(r.run_id == run_id for r in self.records()):
+        if not known:
             self._append_index(record)
         return record
 
@@ -229,18 +234,24 @@ class RunStore:
     def records(self) -> List[RunRecord]:
         """Every index line in append order; corrupt lines are skipped
         (the index is append-only, never rewritten, so a torn write can
-        only cost its own line)."""
+        only cost its own line) and duplicate run ids collapse to their
+        first line (racing ingests of one run can each append)."""
         if not self.index_path.exists():
             return []
         records: List[RunRecord] = []
+        seen: set = set()
         for line in self.index_path.read_text(encoding="utf-8").splitlines():
             line = line.strip()
             if not line:
                 continue
             try:
-                records.append(RunRecord.from_line(line))
+                record = RunRecord.from_line(line)
             except (ValueError, KeyError, TypeError):
                 continue
+            if record.run_id in seen:
+                continue
+            seen.add(record.run_id)
+            records.append(record)
         return records
 
     def latest(self, command: Optional[str] = None) -> Optional[RunRecord]:

@@ -284,6 +284,17 @@ class TestRunStore:
             handle.write("{torn write\n")
         assert [r.run_id for r in store.records()] == [record.run_id]
 
+    def test_duplicate_index_lines_collapse_to_one_record(self, tmp_path):
+        # Racing ingests of the same run can each append an index line;
+        # records() must not double-count the run.
+        store = RunStore(tmp_path)
+        record = store.ingest_events(self.events(), timestamp=1.0)
+        with open(store.index_path, "a") as handle:
+            handle.write(record.to_line() + "\n")
+        assert len(store.index_path.read_text().splitlines()) == 2
+        assert [r.run_id for r in store.records()] == [record.run_id]
+        assert len(store) == 1
+
     def test_empty_store_reads_clean(self, tmp_path):
         store = RunStore(tmp_path / "never_written")
         assert store.records() == []
@@ -375,6 +386,28 @@ class TestAnalyzerMath:
     def test_orphan_spans_become_roots(self):
         roots = build_span_forest([span(5, "orphan", 0.1, parent=999)])
         assert [r.name for r in roots] == ["orphan"]
+
+    def test_duplicate_span_ids_are_not_double_counted(self):
+        # The schema doesn't force ids unique: the first event wins and
+        # later reuses are dropped, so self-time stays exact.
+        roots = build_span_forest([
+            span(1, "root", 1.0),
+            span(2, "child", 0.4, parent=1),
+            span(2, "child.dup", 0.3, parent=1),
+        ])
+        assert len(roots) == 1
+        assert [c.name for c in roots[0].children] == ["child"]
+        assert roots[0].self_seconds == pytest.approx(0.6)
+
+    def test_critical_path_survives_very_deep_chains(self):
+        # A 5000-deep chain would blow the recursion limit on a
+        # recursive solve; the iterative walk must not.
+        depth = 5000
+        events = [span(1, "s0", 1.0)]
+        events += [span(i, f"s{i - 1}", 1.0, parent=i - 1)
+                   for i in range(2, depth + 1)]
+        path = critical_path(build_span_forest(events))
+        assert len(path) == depth
 
     def test_cache_audit_rates_match_cachestats_semantics(self):
         metrics = [
@@ -506,6 +539,28 @@ class TestCompare:
         first = store.records()[0].run_id
         assert compare_main([first, "--baseline", "latest",
                              "--store", str(tmp_path)]) == 0
+
+    def test_file_candidate_never_baselines_against_its_own_copy(
+            self, tmp_path, capsys):
+        # A file-path candidate carries the path as its label, so run-id
+        # exclusion alone would let the baseline resolve to the stored
+        # copy of the same run and the gate would diff a run against
+        # itself. Content equality must skip that copy.
+        store = RunStore(tmp_path / "store")
+        store.ingest_events([manifest(phases={"plan": 1.0})], timestamp=1.0)
+        slow = [manifest(phases={"plan": 4.0})]
+        store.ingest_events(slow, timestamp=2.0)
+        slow_file = write_run(tmp_path / "slow.jsonl", slow)
+        assert compare_main([str(slow_file), "--baseline", "latest",
+                             "--store", str(tmp_path / "store"),
+                             "--threshold", "0.2"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        # A store holding only copies of the candidate has no baseline.
+        lone = RunStore(tmp_path / "lone")
+        lone.ingest_events(slow, timestamp=3.0)
+        assert compare_main([str(slow_file), "--baseline", "latest",
+                             "--store", str(tmp_path / "lone")]) == 2
+        assert "no baseline run" in capsys.readouterr().err
 
 
 # ---------------------------------------------------------------------------
