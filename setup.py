@@ -1,12 +1,26 @@
-"""Legacy setup shim.
+"""Setup shim.
 
 The execution environment has no ``wheel`` package and no network access,
 so PEP 660 editable installs (``pip install -e .``) cannot build an
 editable wheel. ``python setup.py develop --no-deps`` provides the
-equivalent editable install using only setuptools. All project metadata
-lives in pyproject.toml.
+equivalent editable install using only setuptools.
+
+The ``repro-lint`` console script fronts the contract linter; without an
+install, ``PYTHONPATH=src python -m repro.devtools.lint`` is the
+equivalent invocation.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    entry_points={
+        "console_scripts": [
+            "repro-lint = repro.devtools.lint:main",
+        ]
+    },
+)

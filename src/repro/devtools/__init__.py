@@ -1,0 +1,46 @@
+"""Developer tooling: the contract linter (substrate-free, stdlib-only).
+
+The repo's determinism, atomicity and lock-discipline contracts
+(ROADMAP: span-tree determinism, run-store "never reads the clock",
+atomic write-then-rename persistence, process-stable sha256 digests)
+were hand-enforced until this package: :mod:`repro.devtools.lint` is an
+``ast``-based static-analysis pass that machine-checks them on every
+push, the same way ``telemetry.schema.validate_file`` made the
+documented event schema the enforced one.
+
+Run it as ``python -m repro.devtools.lint src`` (see the README's
+"Static analysis" section). The framework lives in
+:mod:`~repro.devtools.framework` (findings, rule registry, inline
+``# repro: allow[rule-id]`` suppressions, the committed baseline), the
+repo-specific rules in :mod:`~repro.devtools.rules`.
+
+This package deliberately imports nothing from the rest of ``repro`` —
+it must be able to lint a tree that does not import cleanly.
+"""
+
+from .framework import (
+    BASELINE_VERSION,
+    Finding,
+    LintResult,
+    Rule,
+    all_rules,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    module_name_for,
+    rule,
+)
+from . import rules as _rules  # noqa: F401  (registers the built-in rules)
+
+__all__ = [
+    "BASELINE_VERSION",
+    "Finding",
+    "LintResult",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "module_name_for",
+    "rule",
+]

@@ -1,0 +1,373 @@
+"""The contract-linter framework: findings, rules, suppressions, baseline.
+
+Pieces (all stdlib; the linter must run on a tree that does not import):
+
+* :class:`Finding` — one violation: file, 1-based line, rule id, message.
+  Its :meth:`~Finding.baseline_key` deliberately excludes the line
+  number, so unrelated edits that shift a legacy finding up or down do
+  not churn the committed baseline.
+* :class:`Rule` + the :func:`rule` registration decorator — one
+  contract each, with ``id``/``summary``/``rationale`` doubling as the
+  ``--list-rules`` documentation.
+* Inline suppressions — ``# repro: allow[rule-id]`` (comma-separate for
+  several ids) on the offending line, or alone on the line above it.
+  Every suppression must earn its keep: one that matches no finding is
+  itself reported (rule id ``unused-suppression``), so stale escapes
+  cannot accumulate.
+* The committed baseline (``lint-baseline.json``) — legacy findings
+  gate only on growth: a finding whose key is in the baseline is
+  reported as *known* and does not fail the run; a baseline entry no
+  finding matches is reported as *stale* so it can be pruned.
+
+:func:`lint_paths` is the everything-wired entry point the CLI and the
+tier-1 test share; :func:`lint_source` is the per-file core the fixture
+tests drive directly.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+BASELINE_VERSION = 1
+
+# Findings the framework itself emits (not registered rules).
+PARSE_ERROR = "parse-error"
+UNUSED_SUPPRESSION = "unused-suppression"
+
+_SUPPRESSION_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_\-, ]+)\]")
+
+
+# ---------------------------------------------------------------------------
+# Findings
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    rule_id: str
+    message: str
+
+    @property
+    def baseline_key(self) -> str:
+        """The identity the baseline stores: path + rule + message, no
+        line number — legacy findings survive unrelated line drift."""
+        return f"{self.path}::{self.rule_id}::{self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule_id,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule_id}] {self.message}"
+
+
+# ---------------------------------------------------------------------------
+# Rules
+# ---------------------------------------------------------------------------
+
+
+class FileContext:
+    """Everything a rule may inspect about one source file."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module, module: str) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        #: Dotted module name (``repro.telemetry.export``) when the file
+        #: sits under a ``src/`` (or ``repro/``) root, else the stem —
+        #: what the allow-list and layering rules match against.
+        self.module = module
+
+    def finding(self, node: ast.AST, rule_id: str, message: str) -> Finding:
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            rule_id=rule_id,
+            message=message,
+        )
+
+
+class Rule:
+    """One enforced contract. Subclasses set ``id``/``summary`` and a
+    ``rationale`` tying the rule back to the repo contract it guards
+    (shown by ``--list-rules``), and implement :meth:`check`."""
+
+    id: str = ""
+    summary: str = ""
+    rationale: str = ""
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def rule(cls):
+    """Class decorator registering a :class:`Rule` subclass (by ``id``)."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id!r}")
+    _REGISTRY[cls.id] = cls()
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, sorted by id."""
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown rule {rule_id!r} (known: {known})") from None
+
+
+# ---------------------------------------------------------------------------
+# Module naming
+# ---------------------------------------------------------------------------
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name for a source file: the path under the nearest
+    ``src/`` component (``src/repro/nn/linear.py`` → ``repro.nn.linear``),
+    or under the outermost ``repro/`` component, else the bare stem.
+    ``__init__.py`` names the package itself."""
+    parts = list(Path(path).parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    for anchor in ("src",):
+        if anchor in parts:
+            tail = parts[parts.index(anchor) + 1 :]
+            if tail:
+                return ".".join(tail)
+    if "repro" in parts:
+        return ".".join(parts[parts.index("repro") :])
+    return parts[-1] if parts else ""
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Suppression:
+    line: int  # the source line the comment sits on
+    covers: int  # the line whose findings it silences
+    rule_id: str
+    used: bool = False
+
+
+def _scan_suppressions(source: str, path: str) -> List[_Suppression]:
+    """Suppressions from *comment tokens only* — the tokenizer (not a
+    line regex) decides what is a comment, so a docstring that merely
+    quotes the ``repro: allow[...]`` syntax stays inert."""
+    suppressions: List[_Suppression] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return []  # the ast parse will have reported the real problem
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESSION_RE.search(token.string)
+        if match is None:
+            continue
+        lineno, col = token.start
+        # A comment alone on its line covers the next line; trailing a
+        # statement it covers that statement's line.
+        standalone = token.line[:col].strip() == ""
+        covers = lineno + 1 if standalone else lineno
+        for rule_id in match.group(1).split(","):
+            rule_id = rule_id.strip()
+            if rule_id:
+                suppressions.append(_Suppression(lineno, covers, rule_id))
+    return suppressions
+
+
+# ---------------------------------------------------------------------------
+# Per-file lint
+# ---------------------------------------------------------------------------
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    module: Optional[str] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint one source text: run every rule, apply inline suppressions,
+    report unused suppressions. Findings come back sorted by (line,
+    rule id). A file that does not parse yields a single
+    ``parse-error`` finding — the linter never raises on bad input."""
+    posix = Path(path).as_posix() if path != "<string>" else path
+    if module is None:
+        module = module_name_for(Path(path)) if path != "<string>" else ""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=posix,
+                line=exc.lineno or 1,
+                rule_id=PARSE_ERROR,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(posix, source, tree, module)
+    raw: List[Finding] = []
+    for rule_obj in rules if rules is not None else all_rules():
+        raw.extend(rule_obj.check(ctx))
+
+    suppressions = _scan_suppressions(source, posix)
+    kept: List[Finding] = []
+    for finding in raw:
+        silenced = False
+        for sup in suppressions:
+            if sup.rule_id == finding.rule_id and sup.covers == finding.line:
+                sup.used = True
+                silenced = True
+        if not silenced:
+            kept.append(finding)
+    for sup in suppressions:
+        if not sup.used:
+            kept.append(
+                Finding(
+                    path=posix,
+                    line=sup.line,
+                    rule_id=UNUSED_SUPPRESSION,
+                    message=(
+                        f"suppression 'repro: allow[{sup.rule_id}]' matches "
+                        f"no {sup.rule_id} finding on line {sup.covers}"
+                    ),
+                )
+            )
+    return sorted(kept)
+
+
+# ---------------------------------------------------------------------------
+# Tree walk + baseline
+# ---------------------------------------------------------------------------
+
+
+def iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    """Every ``*.py`` under the given files/directories, sorted, once."""
+    seen = {}
+    for path in paths:
+        path = Path(path)
+        candidates = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for candidate in candidates:
+            seen[candidate.as_posix()] = candidate
+    return [seen[key] for key in sorted(seen)]
+
+
+@dataclass
+class LintResult:
+    """The outcome of one lint run, baseline already applied."""
+
+    findings: List[Finding] = field(default_factory=list)  # all, post-suppression
+    new: List[Finding] = field(default_factory=list)  # not in baseline → gate
+    known: List[Finding] = field(default_factory=list)  # in baseline → reported only
+    stale_baseline: List[str] = field(default_factory=list)  # prunable entries
+    files: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Gate verdict: only *growth* fails — known findings don't."""
+        return not self.new
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "version": BASELINE_VERSION,
+            "files": self.files,
+            "counts": {
+                "findings": len(self.findings),
+                "new": len(self.new),
+                "known": len(self.known),
+                "stale_baseline": len(self.stale_baseline),
+            },
+            "findings": [f.to_json() for f in self.findings],
+            "new": [f.to_json() for f in self.new],
+            "stale_baseline": list(self.stale_baseline),
+            "ok": self.ok,
+        }
+
+
+def load_baseline(path: Optional[Path]) -> List[str]:
+    """The baseline's finding keys; a missing file is an empty baseline."""
+    if path is None or not Path(path).exists():
+        return []
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path}: version {payload.get('version')!r} != {BASELINE_VERSION}"
+        )
+    entries = payload.get("entries")
+    if not isinstance(entries, list) or not all(isinstance(e, str) for e in entries):
+        raise ValueError(f"baseline {path}: 'entries' must be a list of strings")
+    return entries
+
+
+def render_baseline(findings: Sequence[Finding]) -> str:
+    """The committed-baseline JSON for the given findings (sorted,
+    deduplicated keys; trailing newline so the file diffs cleanly)."""
+    entries = sorted({f.baseline_key for f in findings})
+    return json.dumps(
+        {"version": BASELINE_VERSION, "entries": entries}, indent=2, sort_keys=True
+    ) + "\n"
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Sequence[str]
+) -> Tuple[List[Finding], List[Finding], List[str]]:
+    """Split findings into (new, known) against the baseline and return
+    the stale baseline entries nothing matched."""
+    baseline_set = set(baseline)
+    new = [f for f in findings if f.baseline_key not in baseline_set]
+    known = [f for f in findings if f.baseline_key in baseline_set]
+    matched = {f.baseline_key for f in known}
+    stale = sorted(baseline_set - matched)
+    return new, known, stale
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    rules: Optional[Sequence[Rule]] = None,
+    baseline: Sequence[str] = (),
+) -> LintResult:
+    """Lint every Python file under ``paths`` and fold in the baseline."""
+    files = iter_python_files([Path(p) for p in paths])
+    findings: List[Finding] = []
+    for file_path in files:
+        source = file_path.read_text(encoding="utf-8")
+        findings.extend(lint_source(source, path=str(file_path), rules=rules))
+    findings.sort()
+    new, known, stale = apply_baseline(findings, baseline)
+    return LintResult(
+        findings=findings,
+        new=new,
+        known=known,
+        stale_baseline=stale,
+        files=len(files),
+    )

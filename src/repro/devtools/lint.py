@@ -1,0 +1,184 @@
+"""``python -m repro.devtools.lint`` — the contract linter CLI.
+
+Usage::
+
+    python -m repro.devtools.lint src              # human output
+    python -m repro.devtools.lint src --json       # machine output
+    python -m repro.devtools.lint --list-rules     # per-rule docs
+    python -m repro.devtools.lint src --write-baseline
+
+Exit codes: 0 — clean (or every finding baselined); 1 — new findings
+(or unused suppressions, which are findings); 2 — usage/setup errors
+(unknown rule id, unreadable baseline).
+
+The baseline (``lint-baseline.json``, discovered in the current
+directory or next to the linted tree, or given via ``--baseline``)
+makes legacy findings gate only on growth: CI stays green while the
+debt is paid down, but no new violation lands. ``--write-baseline``
+snapshots the current findings into it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import textwrap
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .framework import (
+    LintResult,
+    all_rules,
+    get_rule,
+    lint_paths,
+    load_baseline,
+    render_baseline,
+)
+from . import rules as _rules  # noqa: F401  (registers the built-in rules)
+
+BASELINE_NAME = "lint-baseline.json"
+
+
+def discover_baseline(paths: Sequence[Path]) -> Optional[Path]:
+    """The default baseline: ``lint-baseline.json`` in the current
+    directory, else beside (or above) the first linted path."""
+    candidates = [Path.cwd()]
+    if paths:
+        first = Path(paths[0]).resolve()
+        candidates.extend([first] if first.is_dir() else [first.parent])
+        candidates.extend(first.parents)
+    for directory in candidates:
+        candidate = directory / BASELINE_NAME
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def list_rules() -> str:
+    lines: List[str] = []
+    for rule_obj in all_rules():
+        lines.append(f"{rule_obj.id}: {rule_obj.summary}")
+        lines.extend(
+            textwrap.wrap(
+                rule_obj.rationale, width=76, initial_indent="    ", subsequent_indent="    "
+            )
+        )
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def render_human(result: LintResult, baseline_path: Optional[Path]) -> str:
+    lines: List[str] = []
+    for finding in result.new:
+        lines.append(finding.render())
+    if result.known:
+        lines.append(f"-- {len(result.known)} baselined finding(s) (not gating):")
+        lines.extend(f"   {finding.render()}" for finding in result.known)
+    if result.stale_baseline:
+        lines.append(
+            f"-- {len(result.stale_baseline)} stale baseline entr"
+            f"{'y' if len(result.stale_baseline) == 1 else 'ies'} "
+            f"(fixed or renamed — prune from {baseline_path or BASELINE_NAME}):"
+        )
+        lines.extend(f"   {entry}" for entry in result.stale_baseline)
+    verdict = "ok" if result.ok else f"{len(result.new)} new finding(s)"
+    lines.append(
+        f"{result.files} file(s) linted, {len(result.findings)} finding(s) "
+        f"({len(result.known)} baselined): {verdict}"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="AST-based contract linter enforcing the repo's "
+        "determinism, atomicity and lock-discipline invariants.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to lint (default: ./src if present, else .)",
+    )
+    parser.add_argument("--json", action="store_true", help="machine-readable report")
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="ID[,ID...]",
+        help="run only these rule ids (default: all registered rules)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=f"baseline file (default: discover {BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline: every finding gates",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="snapshot current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print per-rule documentation"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(list_rules())
+        return 0
+
+    paths = [Path(p) for p in (args.paths or [])]
+    if not paths:
+        paths = [Path("src")] if Path("src").is_dir() else [Path(".")]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(map(str, missing))}", file=sys.stderr)
+        return 2
+
+    try:
+        selected = (
+            [get_rule(rule_id.strip()) for rule_id in args.rules.split(",") if rule_id.strip()]
+            if args.rules
+            else None
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    if args.no_baseline:
+        baseline_path = None
+    elif args.baseline:
+        baseline_path = Path(args.baseline)
+    else:
+        baseline_path = discover_baseline(paths)
+    try:
+        baseline = load_baseline(baseline_path)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    result = lint_paths(paths, rules=selected, baseline=baseline)
+
+    if args.write_baseline:
+        target = baseline_path if baseline_path is not None else Path(BASELINE_NAME)
+        target.write_text(render_baseline(result.findings), encoding="utf-8")
+        print(f"wrote {len(result.findings)} finding(s) to {target}")
+        return 0
+
+    if args.json:
+        from ..serialization import dumps
+
+        print(dumps(result.to_json(), indent=2))
+    else:
+        print(render_human(result, baseline_path))
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,7 @@ from typing import List, Optional
 import numpy as np
 
 from .. import nn
+from ..rng import resolve_rng
 from ..tensor import Tensor, checkpoint
 from .config import BlackMambaConfig
 
@@ -65,7 +66,7 @@ class BlackMambaModel(nn.Module):
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = resolve_rng(rng)
         self.cfg = cfg
         self.gradient_checkpointing = gradient_checkpointing
         self.embed_tokens = nn.Embedding(cfg.vocab_size, cfg.dim, rng=rng)

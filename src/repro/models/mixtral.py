@@ -20,6 +20,7 @@ from typing import List, Optional
 import numpy as np
 
 from .. import nn
+from ..rng import resolve_rng
 from ..tensor import Tensor, checkpoint
 from .config import MixtralConfig
 
@@ -69,7 +70,7 @@ class MixtralModel(nn.Module):
         super().__init__()
         if finetune_mode not in ("qlora", "full"):
             raise ValueError(f"finetune_mode must be 'qlora' or 'full', got {finetune_mode!r}")
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = resolve_rng(rng)
         self.cfg = cfg
         self.finetune_mode = finetune_mode
         # The paper enables gradient checkpointing for Mixtral QLoRA runs.
@@ -139,7 +140,7 @@ def convert_to_qlora(model: MixtralModel, rng: Optional[np.random.Generator] = N
     """
     if model.finetune_mode == "qlora":
         return model
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = resolve_rng(rng)
     rank = model.cfg.lora_rank
     for block in model.layers:
         moe = block.moe

@@ -12,6 +12,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..rng import resolve_rng
 from ..tensor import Tensor, ops
 from .linear import Linear
 from .module import Module
@@ -36,7 +37,7 @@ class CausalSelfAttention(Module):
             raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
         if num_heads % num_kv_heads != 0:
             raise ValueError(f"num_heads {num_heads} not divisible by num_kv_heads {num_kv_heads}")
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = resolve_rng(rng)
         self.dim = dim
         self.num_heads = num_heads
         self.num_kv_heads = num_kv_heads

@@ -6,6 +6,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..rng import resolve_rng
 from ..tensor import Tensor, ops
 from .module import Module, Parameter
 
@@ -27,7 +28,7 @@ class CausalDepthwiseConv1d(Module):
         super().__init__()
         if kernel_size <= 0:
             raise ValueError(f"kernel_size must be positive, got {kernel_size}")
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = resolve_rng(rng)
         scale = 1.0 / np.sqrt(kernel_size)
         self.channels = channels
         self.kernel_size = kernel_size

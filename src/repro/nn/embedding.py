@@ -6,6 +6,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..rng import resolve_rng
 from ..tensor import Tensor, ops
 from .module import Module, Parameter
 
@@ -20,7 +21,7 @@ class Embedding(Module):
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = resolve_rng(rng)
         self.num_embeddings = num_embeddings
         self.embedding_dim = embedding_dim
         self.weight = Parameter(rng.standard_normal((num_embeddings, embedding_dim)) * 0.02)

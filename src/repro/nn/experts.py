@@ -16,6 +16,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..rng import resolve_rng
 from ..tensor import Tensor, ops
 from .linear import Linear, LoRALinear, QuantizedLinear
 from .module import Module
@@ -46,7 +47,7 @@ class SwiGLUExpert(Module):
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = resolve_rng(rng)
         self.dim = dim
         self.hidden_dim = hidden_dim
         self.w1 = _maybe_adapt(Linear(dim, hidden_dim, rng=rng), quantize, lora_rank, rng)
@@ -78,7 +79,7 @@ class GeluExpert(Module):
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = resolve_rng(rng)
         self.dim = dim
         self.hidden_dim = hidden_dim
         self.w1 = _maybe_adapt(Linear(dim, hidden_dim, rng=rng), quantize, lora_rank, rng)

@@ -16,6 +16,7 @@ from typing import Optional
 import numpy as np
 
 from ..quant import QuantizedTensor, quantize
+from ..rng import resolve_rng
 from ..tensor import Tensor
 from .module import Module, Parameter
 
@@ -35,7 +36,7 @@ class Linear(Module):
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = resolve_rng(rng)
         scale = _kaiming_scale(in_features)
         self.in_features = in_features
         self.out_features = out_features
@@ -102,7 +103,7 @@ class LoRALinear(Module):
         super().__init__()
         if rank <= 0:
             raise ValueError(f"LoRA rank must be positive, got {rank}")
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = resolve_rng(rng)
         in_features = base.in_features
         out_features = base.out_features
         self.base = base

@@ -19,6 +19,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..rng import resolve_rng
 from ..tensor import Tensor, ops
 from .conv import CausalDepthwiseConv1d
 from .linear import Linear
@@ -38,7 +39,7 @@ class MambaMixer(Module):
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = resolve_rng(rng)
         self.dim = dim
         self.state_dim = state_dim
         self.inner_dim = expand * dim

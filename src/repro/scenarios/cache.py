@@ -174,14 +174,14 @@ class SimulationCache:
         while the others wait on the in-flight marker, so duplicate
         points in a parallel sweep never run ``simulate_step`` twice.
         """
-        started = time.perf_counter()
+        started = time.perf_counter()  # repro: allow[no-wall-clock] telemetry latency measurement
         key = scenario.key()
         while True:
             with self._lock:
                 trace = self._traces.get(key)
                 if trace is not None:
                     self._hits.inc()
-                    self._fetch_seconds[MEMORY].observe(time.perf_counter() - started)
+                    self._fetch_seconds[MEMORY].observe(time.perf_counter() - started)  # repro: allow[no-wall-clock] telemetry latency measurement
                     return trace, MEMORY
                 event = self._inflight_traces.get(key)
                 if event is None:
@@ -197,7 +197,7 @@ class SimulationCache:
                     with self._lock:
                         self._disk_hits.inc()
                         self._traces[key] = trace
-                    self._fetch_seconds[DISK].observe(time.perf_counter() - started)
+                    self._fetch_seconds[DISK].observe(time.perf_counter() - started)  # repro: allow[no-wall-clock] telemetry latency measurement
                     return trace, DISK
             with self._lock:
                 self._misses.inc()
@@ -221,7 +221,7 @@ class SimulationCache:
                     store.put(scenario, trace)
                 except OSError:
                     pass
-            self._fetch_seconds[SIMULATED].observe(time.perf_counter() - started)
+            self._fetch_seconds[SIMULATED].observe(time.perf_counter() - started)  # repro: allow[no-wall-clock] telemetry latency measurement
             return trace, SIMULATED
         finally:
             # On failure waiters loop, find no trace, and one retries.
@@ -249,13 +249,13 @@ class SimulationCache:
         *counts* match a serial run exactly (the durations are the
         worker's own — wall-clock is the one thing replay cannot fake).
         """
-        started = time.perf_counter()
+        started = time.perf_counter()  # repro: allow[no-wall-clock] telemetry latency measurement
         key = scenario.key()
         with self._lock:
             existing = self._traces.get(key)
             if existing is not None:
                 self._hits.inc()
-                self._fetch_seconds[MEMORY].observe(time.perf_counter() - started)
+                self._fetch_seconds[MEMORY].observe(time.perf_counter() - started)  # repro: allow[no-wall-clock] telemetry latency measurement
                 return existing
             self._traces[key] = trace
             if source == DISK:
@@ -266,7 +266,7 @@ class SimulationCache:
                     self._simulations.inc()
         tier = source if source in self._fetch_seconds else SIMULATED
         self._fetch_seconds[tier].observe(
-            seconds if seconds is not None else time.perf_counter() - started
+            seconds if seconds is not None else time.perf_counter() - started  # repro: allow[no-wall-clock] telemetry latency measurement
         )
         return trace
 
@@ -308,7 +308,7 @@ class SimulationCache:
         if kind not in ("derived", "risk"):
             raise ValueError(f"kind must be 'derived' or 'risk', got {kind!r}")
         risk = kind == "risk"
-        started = time.perf_counter()
+        started = time.perf_counter()  # repro: allow[no-wall-clock] telemetry latency measurement
         latency = self._memoize_seconds[kind]
         while True:
             with self._lock:
@@ -317,7 +317,7 @@ class SimulationCache:
                         self._risk_hits.inc()
                     else:
                         self._hits.inc()
-                    latency.observe(time.perf_counter() - started)
+                    latency.observe(time.perf_counter() - started)  # repro: allow[no-wall-clock] telemetry latency measurement
                     return self._derived[key]
                 event = self._inflight_derived.get(key)
                 if event is None:
@@ -333,7 +333,7 @@ class SimulationCache:
             value = compute()
             with self._lock:
                 self._derived[key] = value
-            latency.observe(time.perf_counter() - started)
+            latency.observe(time.perf_counter() - started)  # repro: allow[no-wall-clock] telemetry latency measurement
             return value
         finally:
             with self._lock:

@@ -15,6 +15,8 @@ Three consumers, one event vocabulary (:mod:`repro.telemetry.schema`):
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
@@ -63,7 +65,13 @@ def write_events(
     """Write the run's events as JSONL: spans in start order, then
     metrics in name order, then the manifest. Returns the line count.
     ``allow_nan=False`` keeps every line strict JSON — the schema (and
-    any downstream consumer) rejects bare ``NaN``/``Infinity`` tokens."""
+    any downstream consumer) rejects bare ``NaN``/``Infinity`` tokens.
+
+    The write is atomic (temp file + ``os.replace``, the
+    ``DiskTraceStore``/``RunStore`` idiom): a crash mid-export — or a
+    non-serializable event raising partway through — never leaves a
+    truncated JSONL at ``path``, and never clobbers a previous complete
+    export with a partial one."""
     events: List[Dict[str, object]] = list(tracer.export())
     events.extend(metric_events(metrics_snapshot))
     if manifest is not None:
@@ -71,8 +79,19 @@ def write_events(
     path = Path(path)
     if path.parent and not path.parent.exists():
         path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "w", encoding="utf-8") as handle:
-        for event in events:
-            handle.write(json.dumps(event, allow_nan=False, sort_keys=True))
-            handle.write("\n")
+    fd, temp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}-", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            for event in events:
+                handle.write(json.dumps(event, allow_nan=False, sort_keys=True))
+                handle.write("\n")
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
     return len(events)

@@ -24,6 +24,7 @@ from typing import Any, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..rng import resolve_rng
 from .grad_mode import is_grad_enabled
 
 DEFAULT_DTYPE = np.float64
@@ -374,6 +375,7 @@ def randn(
     requires_grad: bool = False,
     dtype: np.dtype = DEFAULT_DTYPE,
 ) -> Tensor:
-    """Gaussian tensor; an explicit ``rng`` keeps experiments reproducible."""
-    rng = rng if rng is not None else np.random.default_rng()
+    """Gaussian tensor; an explicit ``rng`` decorrelates call sites — the
+    default is the repo-wide seeded fallback (:func:`repro.rng.resolve_rng`)."""
+    rng = resolve_rng(rng)
     return Tensor((rng.standard_normal(shape) * scale).astype(dtype), requires_grad=requires_grad)

@@ -1,0 +1,5 @@
+"""Violation: builtin hash() feeding a persisted digest/filename."""
+
+
+def digest_for(key: tuple) -> str:
+    return f"{hash(key):x}.trace"

@@ -1,0 +1,15 @@
+"""Compliant twin: hash() only inside __hash__; sha256 for persistence."""
+
+import hashlib
+
+
+class Key:
+    def __init__(self, parts: tuple) -> None:
+        self.parts = parts
+
+    def __hash__(self) -> int:
+        return hash(self.parts)
+
+    def digest(self) -> str:
+        canonical = repr(self.parts).encode("utf-8")
+        return hashlib.sha256(canonical).hexdigest()

@@ -1,0 +1,16 @@
+"""Violation: guarded shared state mutated outside its lock."""
+
+import threading
+
+
+class Registry:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records = []
+
+    def add(self, item) -> None:
+        with self._lock:
+            self._records.append(item)
+
+    def drop_all(self) -> None:
+        self._records.clear()

@@ -1,0 +1,26 @@
+"""Compliant twin: every mutation of guarded state holds the lock.
+
+``self.enabled`` is written without the lock but is never mutated
+*under* it either, so it is not lock-guarded state — flagging it would
+be a false positive the rule must not produce.
+"""
+
+import threading
+
+
+class Registry:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records = []
+        self.enabled = True
+
+    def add(self, item) -> None:
+        with self._lock:
+            self._records.append(item)
+
+    def drop_all(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+    def configure(self, enabled: bool) -> None:
+        self.enabled = enabled

@@ -1,0 +1,14 @@
+"""Violation: unseeded / global-state random generators."""
+
+import random
+
+import numpy as np
+
+
+def init_weights(n: int):
+    rng = np.random.default_rng()
+    return rng.standard_normal(n)
+
+
+def pick(items):
+    return random.choice(items)

@@ -1,0 +1,14 @@
+"""Compliant twin: explicit seeds or injected generators only."""
+
+from typing import Optional
+
+import numpy as np
+
+
+def init_weights(n: int, rng: Optional[np.random.Generator] = None):
+    rng = rng if rng is not None else np.random.default_rng(1234)
+    return rng.standard_normal(n)
+
+
+def pick(items, rng: np.random.Generator):
+    return items[rng.integers(0, len(items))]

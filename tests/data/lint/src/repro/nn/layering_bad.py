@@ -1,0 +1,9 @@
+"""Violation: a substrate module importing telemetry and experiments."""
+
+from ..telemetry import Tracer
+
+import repro.experiments.report
+
+
+def traced_forward(x):
+    return x

@@ -1,0 +1,9 @@
+"""Compliant twin: substrates import sideways/down (tensor, rng), never up."""
+
+from ..rng import resolve_rng
+from ..tensor import Tensor
+
+
+def forward(x: Tensor, rng=None) -> Tensor:
+    resolve_rng(rng)
+    return x

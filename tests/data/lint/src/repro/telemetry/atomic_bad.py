@@ -1,0 +1,8 @@
+"""Violation: truncating write in a persistence layer, no os.replace."""
+
+import json
+
+
+def write_report(path, payload) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)

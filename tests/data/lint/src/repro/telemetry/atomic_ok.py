@@ -1,0 +1,26 @@
+"""Compliant twin: temp-file + os.replace; appends and reads stay legal."""
+
+import json
+import os
+import tempfile
+
+
+def write_report(path, payload) -> None:
+    fd, temp_name = tempfile.mkstemp(dir=os.path.dirname(path) or ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(temp_name, path)
+    except BaseException:
+        os.unlink(temp_name)
+        raise
+
+
+def append_index_line(path, line: str) -> None:
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+
+
+def read_report(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

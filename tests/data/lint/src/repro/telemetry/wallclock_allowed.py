@@ -1,0 +1,9 @@
+"""Allow-listed twin: the measurement layer may read the clock."""
+
+import time
+
+
+def measure(fn) -> float:
+    started = time.perf_counter()
+    fn()
+    return time.perf_counter() - started

@@ -1,0 +1,13 @@
+"""Quiet: real violations with both suppression spellings (trailing
+comment on the offending line; standalone comment on the line above)."""
+
+import time
+
+
+def stamp_trailing() -> float:
+    return time.time()  # repro: allow[no-wall-clock] fixture: documented escape
+
+
+def stamp_line_above() -> float:
+    # repro: allow[no-wall-clock]
+    return time.time()

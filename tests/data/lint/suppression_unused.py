@@ -1,0 +1,5 @@
+"""Violation: a suppression that silences nothing is itself a finding."""
+
+
+def harmless() -> int:
+    return 1  # repro: allow[no-wall-clock]

@@ -1,0 +1,9 @@
+"""Quiet: atomic-writes only scopes the persistence layers — a benchmark
+or experiment writing its own artifact with open(..., 'w') is legal."""
+
+import json
+
+
+def write_bench(path, payload) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)

@@ -1,0 +1,12 @@
+"""Violation: reads the clock on what should be a deterministic path."""
+
+import time
+from datetime import datetime
+
+
+def make_run_id(command: str) -> str:
+    return f"{command}-{time.time()}"
+
+
+def stamp_report() -> str:
+    return datetime.now().isoformat()

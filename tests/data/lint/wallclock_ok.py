@@ -1,0 +1,9 @@
+"""Compliant twin: timestamps arrive as arguments (run-store contract)."""
+
+
+def make_run_id(command: str, timestamp: float) -> str:
+    return f"{command}-{timestamp}"
+
+
+def stamp_report(now: "datetime") -> str:
+    return now.isoformat()

@@ -1,0 +1,55 @@
+"""The seeded-default RNG helper: reproducible-by-default module init."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.rng import DEFAULT_SEED, resolve_rng
+from repro.tensor import core as tensor_core
+
+
+class TestResolveRng:
+    def test_explicit_generator_passes_through(self):
+        rng = np.random.default_rng(7)
+        assert resolve_rng(rng) is rng
+
+    def test_default_is_deterministic_across_calls(self):
+        a = resolve_rng(None).standard_normal(8)
+        b = resolve_rng(None).standard_normal(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_default_matches_the_documented_seed(self):
+        expected = np.random.default_rng(DEFAULT_SEED).standard_normal(4)
+        np.testing.assert_array_equal(resolve_rng().standard_normal(4), expected)
+
+
+class TestReproducibleModuleInit:
+    def test_default_linear_weights_are_identical(self):
+        a = nn.Linear(4, 4)
+        b = nn.Linear(4, 4)
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+    def test_default_embedding_weights_are_identical(self):
+        a = nn.Embedding(16, 8)
+        b = nn.Embedding(16, 8)
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+    def test_default_attention_stack_is_identical(self):
+        a = nn.CausalSelfAttention(8, 2)
+        b = nn.CausalSelfAttention(8, 2)
+        for (name_a, param_a), (name_b, param_b) in zip(
+            a.named_parameters(), b.named_parameters()
+        ):
+            assert name_a == name_b
+            np.testing.assert_array_equal(param_a.data, param_b.data)
+
+    def test_explicit_rng_still_decorrelates(self):
+        a = nn.Linear(4, 4, rng=np.random.default_rng(1))
+        b = nn.Linear(4, 4, rng=np.random.default_rng(2))
+        assert not np.array_equal(a.weight.data, b.weight.data)
+
+    def test_default_randn_is_deterministic(self):
+        x = tensor_core.randn((3, 3))
+        y = tensor_core.randn((3, 3))
+        np.testing.assert_array_equal(x.data, y.data)

@@ -313,6 +313,31 @@ class TestManifest:
         assert counts["span"] == 1
         assert sum(counts.values()) == lines
 
+    def test_crashed_write_events_leaves_no_truncated_file(self, tmp_path):
+        """Atomic-write contract: an export that dies mid-write must not
+        leave a partial JSONL at the target path (a fresh path stays
+        absent; an existing complete export stays intact), and must not
+        leak its temp file."""
+        tracer = Tracer()
+        with tracer.span("work", payload={1, 2}):  # a set is not JSON
+            pass
+        path = tmp_path / "events.jsonl"
+        with pytest.raises(TypeError):
+            write_events(path, tracer, {}, None)
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []  # no orphaned temp file
+
+        # Overwrite case: a previous complete export survives the crash.
+        good = Tracer()
+        with good.span("work"):
+            pass
+        write_events(path, good, {}, None)
+        before = path.read_text(encoding="utf-8")
+        with pytest.raises(TypeError):
+            write_events(path, tracer, {}, None)
+        assert path.read_text(encoding="utf-8") == before
+        assert validate_file(path)["span"] == 1
+
     def test_metric_events_cover_every_instrument(self):
         registry = MetricsRegistry()
         registry.counter("c").inc()
