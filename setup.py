@@ -5,9 +5,11 @@ so PEP 660 editable installs (``pip install -e .``) cannot build an
 editable wheel. ``python setup.py develop --no-deps`` provides the
 equivalent editable install using only setuptools.
 
-The ``repro-lint`` console script fronts the contract linter; without an
-install, ``PYTHONPATH=src python -m repro.devtools.lint`` is the
-equivalent invocation.
+The ``repro-lint`` console script fronts the contract linter and
+``repro-serve`` the HTTP planning service; without an install,
+``PYTHONPATH=src python -m repro.devtools.lint`` and
+``PYTHONPATH=src python -m repro.service.serve`` are the equivalent
+invocations.
 """
 
 from setuptools import find_packages, setup
@@ -21,6 +23,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-lint = repro.devtools.lint:main",
+            "repro-serve = repro.service.serve:main",
         ]
     },
 )

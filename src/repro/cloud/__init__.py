@@ -1,5 +1,5 @@
 """Cloud pricing substrate (S12)."""
 
-from .pricing import DEFAULT_CATALOG, GPUPrice, PriceCatalog
+from .pricing import DEFAULT_CATALOG, PAYLOAD_VERSION, GPUPrice, PriceCatalog
 
-__all__ = ["DEFAULT_CATALOG", "GPUPrice", "PriceCatalog"]
+__all__ = ["DEFAULT_CATALOG", "GPUPrice", "PAYLOAD_VERSION", "PriceCatalog"]

@@ -19,8 +19,15 @@ Two price tiers per (provider, GPU) pair:
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Tuple
+
+#: Version of the JSON interchange layout (:meth:`PriceCatalog.to_payload`).
+#: Bump on any structural change so a feed emitting the old shape is
+#: rejected loudly instead of half-parsed.
+PAYLOAD_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -131,6 +138,79 @@ class PriceCatalog:
         return self.spot_dollars_per_hour(gpu_name, provider) / self.dollars_per_hour(
             gpu_name, provider
         )
+
+    # ------------------------------------------------------------------
+    # JSON interchange — what a live pricing feed speaks
+    # ------------------------------------------------------------------
+    def to_payload(self) -> Dict[str, object]:
+        """The catalog as a JSON-safe dict: versioned, with both tiers'
+        listings in sorted (provider, gpu) order so equal catalogs
+        serialize to equal bytes (which is what :meth:`digest` hashes)."""
+
+        def tier(prices: Dict[Tuple[str, str], GPUPrice]) -> List[Dict[str, object]]:
+            return [
+                {
+                    "gpu": price.gpu_name,
+                    "provider": price.provider,
+                    "dollars_per_hour": price.dollars_per_hour,
+                }
+                for _key, price in sorted(prices.items())
+            ]
+
+        return {
+            "version": PAYLOAD_VERSION,
+            "prices": tier(self._prices),
+            "spot_prices": tier(self._spot_prices),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "PriceCatalog":
+        """Parse a feed payload back into a catalog. Malformed payloads
+        (wrong version, missing keys, non-numeric prices, spot quotes
+        above on-demand) raise ``ValueError`` — a feed that cannot be
+        parsed must read as "refresh failed", never as a partial or
+        silently-empty catalog."""
+        if not isinstance(payload, dict):
+            raise ValueError(f"pricing payload must be an object, got {type(payload).__name__}")
+        version = payload.get("version")
+        if version != PAYLOAD_VERSION:
+            raise ValueError(f"unsupported pricing payload version {version!r}")
+
+        def tier(name: str) -> List[GPUPrice]:
+            entries = payload.get(name, [])
+            if not isinstance(entries, list):
+                raise ValueError(f"pricing payload {name!r} must be a list")
+            prices = []
+            for index, entry in enumerate(entries):
+                if not isinstance(entry, dict):
+                    raise ValueError(f"{name}[{index}] must be an object")
+                try:
+                    prices.append(
+                        GPUPrice(
+                            gpu_name=str(entry["gpu"]),
+                            provider=str(entry["provider"]),
+                            dollars_per_hour=float(entry["dollars_per_hour"]),
+                        )
+                    )
+                except (KeyError, TypeError, ValueError) as exc:
+                    raise ValueError(f"{name}[{index}] is malformed: {exc}") from exc
+            return prices
+
+        prices = tier("prices")
+        spot_prices = tier("spot_prices")
+        try:
+            return cls(prices, spot_prices=spot_prices)
+        except ValueError as exc:
+            # add_spot's discount-tier invariant, re-tagged as a payload error
+            raise ValueError(f"pricing payload violates catalog invariants: {exc}") from exc
+
+    def digest(self) -> str:
+        """sha256 over the canonical payload JSON — one stable identity
+        for "which prices produced this plan", used by the planning
+        service's request digest so a price refresh correctly splits
+        otherwise-identical requests into distinct coalescing keys."""
+        text = json.dumps(self.to_payload(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(text.encode("ascii")).hexdigest()
 
 
 DEFAULT_CATALOG = PriceCatalog(

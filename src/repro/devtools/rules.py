@@ -111,10 +111,15 @@ WALL_CLOCK_CALLS = frozenset(
 )
 
 #: The measurement layer: the only modules allowed to read the clock.
+#: ``repro.service`` joins it because a server legitimately reads the
+#: clock — pricing-catalog TTLs, stale-while-revalidate age checks, run
+#: store ingest timestamps — while the *plans it serves* stay clock-free
+#: (the engine underneath is still linted).
 WALL_CLOCK_ALLOWED = (
     "repro.telemetry",
     "repro.profiling",
     "repro.training.trainer",
+    "repro.service",
 )
 
 
@@ -567,6 +572,7 @@ HIGH_LAYERS = (
     "repro.devtools",
     "repro.cluster.plan",
     "repro.spot.plan",
+    "repro.service",
 )
 
 

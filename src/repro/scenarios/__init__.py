@@ -34,15 +34,18 @@ from .cache import (
 from .grid import ScenarioGrid, preset, preset_names, register_preset
 from .runner import SweepPoint, SweepRunner
 from .scenario import Scenario, canonical_value, freeze_overrides
+from .singleflight import InFlightMap, SingleFlight
 from .store import ENV_CACHE_DIR, DiskTraceStore, resolve_store
 
 __all__ = [
     "CacheStats",
     "DiskTraceStore",
     "ENV_CACHE_DIR",
+    "InFlightMap",
     "Scenario",
     "ScenarioGrid",
     "SimulationCache",
+    "SingleFlight",
     "SweepPoint",
     "SweepRunner",
     "canonical_value",

@@ -35,6 +35,7 @@ from ..gpu.specs import GPUSpec
 from ..gpu.trace import StepTrace
 from ..telemetry.metrics import MetricsRegistry
 from .scenario import ModelConfig, Scenario, freeze_overrides
+from .singleflight import InFlightMap
 from .store import DiskTraceStore
 
 # Provenance of a fetched trace (also reported by process-pool workers so
@@ -54,6 +55,10 @@ class CacheStats:
     sweep recomputed nothing" is assertable without entangling the
     trace-layer counters that the zero-redundant-simulation criteria
     already pin down.
+
+    ``evictions`` counts entries dropped by the LRU bound (see
+    ``SimulationCache(capacity=...)``); it stays 0 for unbounded caches,
+    which is why it defaults rather than being required.
     """
 
     hits: int
@@ -63,6 +68,7 @@ class CacheStats:
     simulations: int = 0
     risk_hits: int = 0
     risk_misses: int = 0
+    evictions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -107,17 +113,31 @@ class SimulationCache:
         overheads: Optional[Dict[str, SoftwareOverhead]] = None,
         store: Optional[DiskTraceStore] = None,
         metrics: Optional[MetricsRegistry] = None,
+        capacity: Optional[int] = None,
     ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
         self._overheads = overheads
         self.store = store
+        # None = unbounded (the CLI default: a sweep is finite). A
+        # long-lived server sets a bound; the memory tier then evicts
+        # least-recently-used entries, spilling them to the disk store
+        # (when attached) so an evicted trace is a disk hit later, never
+        # a re-simulation. Traces and derived results are bounded
+        # independently, each to `capacity` entries.
+        self._capacity = capacity
         self._simulators: Dict[GPUSpec, GPUSimulator] = {}
         self._traces: Dict[Tuple, StepTrace] = {}
+        # Scenario per resident trace key, so eviction can address the
+        # disk store (which is keyed by Scenario.digest(), not key()).
+        self._scenarios: Dict[Tuple, Scenario] = {}
         self._derived: Dict[Tuple, object] = {}
         # Trace keys and derived keys live in disjoint in-flight maps: a
         # derived key that happened to equal a trace key must not make one
-        # computation wait on (or mask) the other.
-        self._inflight_traces: Dict[Tuple, threading.Event] = {}
-        self._inflight_derived: Dict[Tuple, threading.Event] = {}
+        # computation wait on (or mask) the other. The maps are bare
+        # marker tables; this cache's _lock guards them.
+        self._inflight_traces = InFlightMap()
+        self._inflight_derived = InFlightMap()
         self._lock = threading.Lock()
         # The accounting counters are first-class metrics: stats() reads
         # them back out of the registry, so CacheStats and a telemetry
@@ -129,6 +149,7 @@ class SimulationCache:
         self._simulations = self.metrics.counter("cache.simulations")
         self._risk_hits = self.metrics.counter("cache.risk_hits")
         self._risk_misses = self.metrics.counter("cache.risk_misses")
+        self._evictions = self.metrics.counter("cache.evictions")
         # Per-source fetch latency: how long a lookup took depending on
         # which tier answered it. Process-pool sweeps replay worker
         # observations through adopt(), so the *counts* (though not the
@@ -148,6 +169,60 @@ class SimulationCache:
         CLIs to bolt ``--cache-dir`` onto the process-global default
         cache so every consumer inherits persistence."""
         self.store = store
+
+    @property
+    def capacity(self) -> Optional[int]:
+        """The LRU bound on the memory tier (``None`` = unbounded)."""
+        return self._capacity
+
+    # ------------------------------------------------------------------
+    # LRU plumbing. All three helpers are called with self._lock held —
+    # they are the "check/install/evict" half of an operation whose
+    # hit/miss accounting must be atomic — except _spill, which performs
+    # the eviction's disk I/O and therefore runs *after* the lock is
+    # released.
+    def _touch(self, key: Tuple) -> None:
+        """Mark ``key`` most-recently-used (caller holds ``_lock``).
+        Only bounded caches pay the reorder; unbounded ones keep the
+        original single-dict-read hit path."""
+        if self._capacity is not None and key in self._traces:
+            self._traces[key] = self._traces.pop(key)  # repro: allow[lock-discipline] caller holds self._lock
+
+    def _install(self, key: Tuple, scenario: Scenario, trace: StepTrace) -> list:
+        """Install a resolved trace (caller holds ``_lock``), evicting
+        least-recently-used entries past ``capacity``. Returns the
+        evicted ``(scenario, trace)`` pairs for :meth:`_spill`."""
+        self._traces[key] = trace  # repro: allow[lock-discipline] caller holds self._lock
+        self._scenarios[key] = scenario  # repro: allow[lock-discipline] caller holds self._lock
+        evicted = []
+        if self._capacity is None:
+            return evicted
+        while len(self._traces) > self._capacity:
+            old_key = next(iter(self._traces))
+            old_trace = self._traces.pop(old_key)  # repro: allow[lock-discipline] caller holds self._lock
+            old_scenario = self._scenarios.pop(old_key, None)  # repro: allow[lock-discipline] caller holds self._lock
+            self._evictions.inc()
+            if old_scenario is not None:
+                evicted.append((old_scenario, old_trace))
+        return evicted
+
+    def _spill(self, evicted: list) -> None:
+        """Best-effort write-back of evicted traces to the disk tier
+        (outside the lock), so a bounded cache with a store attached
+        never turns an eviction into a future re-simulation. Entries
+        already on disk (the common case: simulated traces are written
+        back at fetch time) are skipped; write failures degrade the
+        entry to recomputable, they never raise."""
+        store = self.store
+        if store is None or not evicted:
+            return
+        for scenario, trace in evicted:
+            try:
+                if store.path_for(scenario.digest()).exists():
+                    continue
+                store.put(scenario, trace)
+            except OSError:
+                pass
 
     # ------------------------------------------------------------------
     def simulator(self, gpu: GPUSpec) -> GPUSimulator:
@@ -180,13 +255,12 @@ class SimulationCache:
             with self._lock:
                 trace = self._traces.get(key)
                 if trace is not None:
+                    self._touch(key)
                     self._hits.inc()
                     self._fetch_seconds[MEMORY].observe(time.perf_counter() - started)  # repro: allow[no-wall-clock] telemetry latency measurement
                     return trace, MEMORY
-                event = self._inflight_traces.get(key)
-                if event is None:
-                    event = threading.Event()
-                    self._inflight_traces[key] = event
+                event, leader = self._inflight_traces.claim(key)
+                if leader:
                     break  # this thread resolves disk/simulate
             event.wait()  # another thread is computing; re-read after it
         try:
@@ -196,7 +270,8 @@ class SimulationCache:
                 if trace is not None:
                     with self._lock:
                         self._disk_hits.inc()
-                        self._traces[key] = trace
+                        evicted = self._install(key, scenario, trace)
+                    self._spill(evicted)
                     self._fetch_seconds[DISK].observe(time.perf_counter() - started)  # repro: allow[no-wall-clock] telemetry latency measurement
                     return trace, DISK
             with self._lock:
@@ -211,7 +286,8 @@ class SimulationCache:
                 **scenario.overrides_dict(),
             )
             with self._lock:
-                self._traces[key] = trace
+                evicted = self._install(key, scenario, trace)
+            self._spill(evicted)
             if store is not None:
                 # Persistence is best-effort, mirroring the store's read
                 # contract: a full or read-only cache volume degrades the
@@ -226,7 +302,7 @@ class SimulationCache:
         finally:
             # On failure waiters loop, find no trace, and one retries.
             with self._lock:
-                self._inflight_traces.pop(key, None)
+                self._inflight_traces.release(key)
             event.set()
 
     def adopt(
@@ -254,16 +330,18 @@ class SimulationCache:
         with self._lock:
             existing = self._traces.get(key)
             if existing is not None:
+                self._touch(key)
                 self._hits.inc()
                 self._fetch_seconds[MEMORY].observe(time.perf_counter() - started)  # repro: allow[no-wall-clock] telemetry latency measurement
                 return existing
-            self._traces[key] = trace
+            evicted = self._install(key, scenario, trace)
             if source == DISK:
                 self._disk_hits.inc()
             else:
                 self._misses.inc()
                 if source == SIMULATED:
                     self._simulations.inc()
+        self._spill(evicted)
         tier = source if source in self._fetch_seconds else SIMULATED
         self._fetch_seconds[tier].observe(
             seconds if seconds is not None else time.perf_counter() - started  # repro: allow[no-wall-clock] telemetry latency measurement
@@ -313,16 +391,16 @@ class SimulationCache:
         while True:
             with self._lock:
                 if key in self._derived:
+                    if self._capacity is not None:
+                        self._derived[key] = self._derived.pop(key)  # LRU touch
                     if risk:
                         self._risk_hits.inc()
                     else:
                         self._hits.inc()
                     latency.observe(time.perf_counter() - started)  # repro: allow[no-wall-clock] telemetry latency measurement
                     return self._derived[key]
-                event = self._inflight_derived.get(key)
-                if event is None:
-                    event = threading.Event()
-                    self._inflight_derived[key] = event
+                event, leader = self._inflight_derived.claim(key)
+                if leader:
                     if risk:
                         self._risk_misses.inc()
                     else:
@@ -333,11 +411,18 @@ class SimulationCache:
             value = compute()
             with self._lock:
                 self._derived[key] = value
+                if self._capacity is not None:
+                    # Derived results have no disk tier: eviction means
+                    # recompute-on-next-use, which bounded servers accept
+                    # in exchange for bounded memory.
+                    while len(self._derived) > self._capacity:
+                        self._derived.pop(next(iter(self._derived)))
+                        self._evictions.inc()
             latency.observe(time.perf_counter() - started)  # repro: allow[no-wall-clock] telemetry latency measurement
             return value
         finally:
             with self._lock:
-                self._inflight_derived.pop(key, None)
+                self._inflight_derived.release(key)
             event.set()
 
     # ------------------------------------------------------------------
@@ -352,6 +437,7 @@ class SimulationCache:
             simulations=self._simulations.value,
             risk_hits=self._risk_hits.value,
             risk_misses=self._risk_misses.value,
+            evictions=self._evictions.value,
         )
 
     def clear(self) -> None:
@@ -360,12 +446,14 @@ class SimulationCache:
         persistence outliving process state is its whole point."""
         with self._lock:
             self._traces.clear()
+            self._scenarios.clear()
             self._simulators.clear()
             self._derived.clear()
         # Reset only this cache's instruments, not the whole registry —
         # a shared registry may carry other layers' metrics.
         for counter in (self._hits, self._misses, self._disk_hits,
-                        self._simulations, self._risk_hits, self._risk_misses):
+                        self._simulations, self._risk_hits, self._risk_misses,
+                        self._evictions):
             counter.reset()
         for histogram in (*self._fetch_seconds.values(),
                           *self._memoize_seconds.values()):

@@ -1,0 +1,137 @@
+"""Single-flight primitives: collapse concurrent duplicate work.
+
+:class:`SimulationCache` has always collapsed concurrent misses on one
+scenario key — the first thread resolves disk/simulate while the rest
+wait on an in-flight marker. The planning service needs the same shape
+one level up (N identical concurrent plan *requests* must cost one plan
+computation), so the machinery lives here as two reusable pieces:
+
+* :class:`InFlightMap` — the bare marker table. It holds **no lock of
+  its own**: the caller claims/releases under the caller's lock, which
+  keeps "check the result table, then claim the in-flight slot" one
+  atomic step (the property the cache's hit/miss accounting depends
+  on). ``Event.set()`` happens outside any lock, as before.
+* :class:`SingleFlight` — self-contained result sharing for callers
+  without their own result table. The leader runs the function; every
+  concurrent duplicate receives the leader's exact return value (or
+  re-raises the leader's exception). Results are *not* cached beyond
+  the in-flight window — callers wanting memoization layer it on top.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Hashable, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class InFlightMap:
+    """Keyed in-flight markers, locked by the *caller*.
+
+    Every method must be called while holding the lock that also guards
+    the caller's result table; this class is deliberately lock-free so
+    the claim can be atomic with the caller's own "is it already done?"
+    check. The returned event's ``set()`` is the one operation the
+    caller performs outside the lock (waking waiters must not require
+    the lock the waiters are about to take).
+    """
+
+    def __init__(self) -> None:
+        self._events: Dict[Hashable, threading.Event] = {}
+
+    def claim(self, key: Hashable) -> Tuple[threading.Event, bool]:
+        """The in-flight event for ``key`` plus whether this caller is
+        the leader (it created the marker and must resolve the work,
+        then :meth:`release` and ``set()`` the event)."""
+        event = self._events.get(key)
+        if event is not None:
+            return event, False
+        event = threading.Event()
+        self._events[key] = event
+        return event, True
+
+    def release(self, key: Hashable) -> None:
+        """Drop the marker for ``key`` (leader-side, under the caller's
+        lock, before setting the event). Missing keys are a no-op so a
+        ``finally`` block can release unconditionally."""
+        self._events.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._events
+
+
+class _Call:
+    """One in-flight computation: completion event plus its outcome."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: Optional[object] = None
+        self.error: Optional[BaseException] = None
+
+
+class SingleFlight:
+    """Duplicate-call suppression with result sharing.
+
+    ``do(key, fn)`` runs ``fn`` at most once per key at a time: the
+    first caller (the leader) computes, concurrent callers with the
+    same key block and receive the leader's result — the identical
+    object, so a service handing out serialized bytes hands every
+    coalesced caller byte-identical payloads. A leader exception
+    propagates to every waiter (they asked the same question; they get
+    the same answer). Once the leader finishes, the key is forgotten:
+    this is coalescing, not caching.
+    """
+
+    def __init__(self) -> None:
+        self._calls: Dict[Hashable, _Call] = {}
+        self._lock = threading.Lock()
+        self._leaders = 0
+        self._shared = 0
+
+    def do(self, key: Hashable, fn: Callable[[], T]) -> Tuple[T, bool]:
+        """``(result, shared)`` — ``shared`` is False for the leader
+        that actually ran ``fn``, True for callers that received the
+        leader's result."""
+        with self._lock:
+            call = self._calls.get(key)
+            if call is not None:
+                leader = False
+                self._shared += 1
+            else:
+                call = _Call()
+                self._calls[key] = call
+                leader = True
+                self._leaders += 1
+        if not leader:
+            call.event.wait()
+            if call.error is not None:
+                raise call.error
+            return call.value, True  # type: ignore[return-value]
+        try:
+            value = fn()
+        except BaseException as exc:
+            call.error = exc
+            raise
+        else:
+            call.value = value
+            return value, False
+        finally:
+            with self._lock:
+                self._calls.pop(key, None)
+            call.event.set()
+
+    def stats(self) -> Dict[str, int]:
+        """Lifetime counters: ``leaders`` (computations actually run),
+        ``shared`` (calls that rode along), ``inflight`` (now)."""
+        with self._lock:
+            return {
+                "leaders": self._leaders,
+                "shared": self._shared,
+                "inflight": len(self._calls),
+            }

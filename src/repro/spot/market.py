@@ -24,7 +24,11 @@ from functools import lru_cache
 from typing import Dict, Optional
 
 
-@lru_cache(maxsize=None)
+# Bounded: a long-lived server sees an open-ended stream of (provider,
+# mtbp) pairs, and an unbounded memo table is a slow leak. 256 covers
+# every realistic market mix; past that, recomputing a short sha256 is
+# cheaper than the memory.
+@lru_cache(maxsize=256)
 def _market_digest(provider: str, mtbp_hours: float) -> str:
     text = f"spot-market:v1:{provider}:mtbp={mtbp_hours!r}"
     return hashlib.sha256(text.encode()).hexdigest()[:16]

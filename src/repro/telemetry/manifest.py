@@ -112,6 +112,7 @@ def build_manifest(
             "simulations": cache_stats.simulations,
             "risk_hits": cache_stats.risk_hits,
             "risk_misses": cache_stats.risk_misses,
+            "evictions": cache_stats.evictions,
             "entries": cache_stats.entries,
         },
         "phases": tracer.phase_seconds(),

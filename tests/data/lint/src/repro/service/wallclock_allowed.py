@@ -1,0 +1,8 @@
+"""Allow-listed twin: the serving layer may read the clock (TTLs,
+stale-while-revalidate age checks, run-store ingest timestamps)."""
+
+import time
+
+
+def catalog_age(fetched_at: float) -> float:
+    return time.monotonic() - fetched_at

@@ -73,6 +73,7 @@ class TestRulesFire:
         "src/repro/telemetry/atomic_ok.py",
         "src/repro/nn/layering_ok.py",
         "src/repro/telemetry/wallclock_allowed.py",
+        "src/repro/service/wallclock_allowed.py",
         "unscoped_write_ok.py",
     ]
 
@@ -88,9 +89,15 @@ class TestRulesFire:
 
     def test_wall_clock_allowlist_is_module_based(self):
         source = "import time\n\n\ndef f():\n    return time.time()\n"
-        assert lint_source(source, module="repro.gpu.simulator") != []
+        # The allowlist widens (repro.service joined for TTL/ingest
+        # timestamps) but stays module-scoped: the engine layers right
+        # next to the allowed ones must still trip the rule.
+        for denied in ("repro.gpu.simulator", "repro.cluster.planner",
+                       "repro.scenarios.cache", "repro.servicex.other"):
+            assert lint_source(source, module=denied) != []
         for allowed in ("repro.telemetry.export", "repro.profiling.wallclock",
-                        "repro.training.trainer"):
+                        "repro.training.trainer", "repro.service.catalog",
+                        "repro.service.app"):
             assert lint_source(source, module=allowed) == []
 
     def test_parse_error_is_a_finding_not_a_crash(self):

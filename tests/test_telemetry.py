@@ -296,7 +296,7 @@ class TestManifest:
             "hits": stats.hits, "disk_hits": stats.disk_hits,
             "misses": stats.misses, "simulations": stats.simulations,
             "risk_hits": stats.risk_hits, "risk_misses": stats.risk_misses,
-            "entries": stats.entries,
+            "evictions": stats.evictions, "entries": stats.entries,
         }
         assert manifest["cache"]["hits"] == len(GRID)
 
